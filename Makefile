@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench bench-quick experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per paper table/figure plus kernel benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation artifact (tables, CSV series, SVG figures).
+experiments:
+	$(GO) run ./cmd/benchrunner -exp all -csv figures_sweep.csv -svg figures
+
+bench-quick:
+	$(GO) run ./cmd/benchrunner -exp all -quick
+
+# Short fuzzing sessions over every parser.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=30s ./internal/cypher/
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=30s ./internal/grammar/
+	$(GO) test -run=NONE -fuzz=FuzzRegex -fuzztime=30s ./internal/rpq/
+	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=30s ./internal/resp/
+
+clean:
+	rm -f test_output.txt bench_output.txt

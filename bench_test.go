@@ -1,0 +1,187 @@
+package mscfpq
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (experiment index in DESIGN.md §3). Each delegates to the shared
+// harness in internal/bench at a reduced scale so `go test -bench=.`
+// completes in minutes; `cmd/benchrunner` runs the full-size sweeps and
+// writes the tables EXPERIMENTS.md records.
+
+import (
+	"testing"
+
+	"mscfpq/internal/bench"
+	"mscfpq/internal/cfpq"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/matrix"
+)
+
+func benchConfig() bench.Config {
+	cfg := bench.QuickConfig()
+	cfg.MaxChunks = 2
+	return cfg
+}
+
+// BenchmarkTable1Stats regenerates the dataset statistics (E1, Table 1).
+func BenchmarkTable1Stats(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2SinglePath measures single-path index construction and
+// witness extraction (E2, Figure 2).
+func BenchmarkFig2SinglePath(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Graphs = []string{"core", "pathways", "geospecies"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig2(cfg, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3to8MultiSource runs the chunked multiple-source sweep
+// comparing Algorithm 2 with Algorithm 3 (E3-E8, Figures 3-8).
+func BenchmarkFig3to8MultiSource(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Graphs = []string{"core", "pathways", "geospecies"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Figures(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBaselines compares Algorithm 2 with the all-pairs
+// filter and the worklist baseline (E9).
+func BenchmarkAblationBaselines(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Ablation(cfg, "core", 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullStackQuery measures end-to-end GRAPH.QUERY evaluation
+// against the raw algorithm (E10, Section 4.4).
+func BenchmarkFullStackQuery(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.FullStack(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPQUnification compares the RPQ engines (E11, future work).
+func BenchmarkRPQUnification(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RPQUnification(cfg, "core", "subClassOf+", 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks of the algorithm kernels on a fixed mid-size input,
+// for regression tracking of the hot paths behind every experiment.
+
+func benchInput(b *testing.B) (*Graph, *WCNF, *VertexSet) {
+	b.Helper()
+	g, err := GenerateDataset("core", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := ToWCNF(G2())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := matrix.NewVector(g.NumVertices())
+	for v := 0; v < 20; v++ {
+		src.Set(v)
+	}
+	return g, w, src
+}
+
+func BenchmarkKernelAllPairs(b *testing.B) {
+	g, w, _ := benchInput(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfpq.AllPairs(g, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelAllPairsSemiNaive(b *testing.B) {
+	g, w, _ := benchInput(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfpq.AllPairsSemiNaive(g, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelMultiSource(b *testing.B) {
+	g, w, src := benchInput(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfpq.MultiSource(g, w, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelSmartWarm(b *testing.B) {
+	g, w, src := benchInput(b)
+	idx, err := cfpq.NewIndex(g, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := idx.MultiSourceSmart(src); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.MultiSourceSmart(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelWorklistMS(b *testing.B) {
+	g, w, src := benchInput(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfpq.WorklistMultiSource(g, w, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelGrammarNormalize(b *testing.B) {
+	g := grammar.G1()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := grammar.ToWCNF(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

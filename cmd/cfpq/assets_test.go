@@ -1,0 +1,34 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The shipped query files and the Figure 1 example graph must keep
+// working through the CLI (they are the documented quickstart inputs).
+func TestShippedAssets(t *testing.T) {
+	root := filepath.Join("..", "..")
+	graphPath := filepath.Join(root, "testdata", "example_graph.txt")
+	out, err := runCLI(t, "-graph", graphPath,
+		"-grammar", filepath.Join(root, "queries", "cnd.txt"),
+		"-algo", "allpairs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's c^n y d^n relation on the Figure 1 graph.
+	for _, want := range []string{"2 result pairs", "3 -> 4", "4 -> 5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Every shipped grammar must parse and normalize through the CLI
+	// (empty results are fine on this small graph).
+	for _, q := range []string{"g1.txt", "g2.txt", "geo.txt", "anbn.txt"} {
+		if _, err := runCLI(t, "-graph", graphPath,
+			"-grammar", filepath.Join(root, "queries", q), "-algo", "allpairs"); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Command cfpq evaluates a context-free path query over a graph file.
+//
+// Usage:
+//
+//	cfpq -graph g.txt -grammar q.txt [-algo ms] [-src 0,5,7] [-limit 20]
+//
+// Algorithms: allpairs (Algorithm 1), ms (Algorithm 2, default), smart
+// (Algorithm 3), worklist (CFL-reachability baseline), singlepath
+// (all-pairs with witness extraction), tensor (Kronecker RSM).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mscfpq/internal/cfpq"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+	"mscfpq/internal/rsm"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cfpq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cfpq", flag.ContinueOnError)
+	var (
+		graphPath   = fs.String("graph", "", "graph file (edge-list format)")
+		grammarPath = fs.String("grammar", "", "grammar file")
+		algo        = fs.String("algo", "ms", "allpairs | ms | smart | worklist | singlepath | tensor")
+		srcSpec     = fs.String("src", "", "comma-separated source vertices (ms/smart/worklist)")
+		limit       = fs.Int("limit", 50, "maximum pairs to print (0 = all)")
+		showPaths   = fs.Bool("paths", false, "print a witness path per pair (singlepath)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *grammarPath == "" {
+		fs.Usage()
+		return fmt.Errorf("need -graph and -grammar")
+	}
+	g, err := graph.LoadFile(*graphPath)
+	if err != nil {
+		return err
+	}
+	cf, err := grammar.LoadFile(*grammarPath)
+	if err != nil {
+		return err
+	}
+	w, err := grammar.ToWCNF(cf)
+	if err != nil {
+		return err
+	}
+	src, err := parseSources(*srcSpec, g.NumVertices())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "graph: %d vertices, %d edges; grammar: %d nonterminals, %d rules\n",
+		g.NumVertices(), g.NumEdges(), w.NumNonterms(), len(w.BinRules)+len(w.TermRules))
+
+	var answer *matrix.Bool
+	switch *algo {
+	case "allpairs":
+		r, err := cfpq.AllPairs(g, w)
+		if err != nil {
+			return err
+		}
+		answer = r.Start()
+	case "ms":
+		if src == nil {
+			return fmt.Errorf("-algo ms needs -src")
+		}
+		r, err := cfpq.MultiSource(g, w, src)
+		if err != nil {
+			return err
+		}
+		answer = r.Answer()
+	case "smart":
+		if src == nil {
+			return fmt.Errorf("-algo smart needs -src")
+		}
+		idx, err := cfpq.NewIndex(g, w)
+		if err != nil {
+			return err
+		}
+		r, err := idx.MultiSourceSmart(src)
+		if err != nil {
+			return err
+		}
+		answer = r.Answer()
+	case "worklist":
+		if src != nil {
+			m, err := cfpq.WorklistMultiSource(g, w, src)
+			if err != nil {
+				return err
+			}
+			answer = m
+		} else {
+			r, err := cfpq.Worklist(g, w)
+			if err != nil {
+				return err
+			}
+			answer = r.Start()
+		}
+	case "singlepath":
+		sp, err := cfpq.SinglePath(g, w)
+		if err != nil {
+			return err
+		}
+		answer = sp.Start()
+		if *showPaths {
+			return printWithPaths(stdout, sp, *limit)
+		}
+	case "tensor":
+		machine, err := rsm.FromGrammar(cf)
+		if err != nil {
+			return err
+		}
+		rel, err := machine.Eval(g)
+		if err != nil {
+			return err
+		}
+		answer = rel
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	return printPairs(stdout, answer, *limit)
+}
+
+func parseSources(spec string, n int) (*matrix.Vector, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	v := matrix.NewVector(n)
+	for _, part := range strings.Split(spec, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || id < 0 || id >= n {
+			return nil, fmt.Errorf("bad source vertex %q (graph has %d vertices)", part, n)
+		}
+		v.Set(id)
+	}
+	return v, nil
+}
+
+func printPairs(stdout io.Writer, m *matrix.Bool, limit int) error {
+	fmt.Fprintf(stdout, "%d result pairs\n", m.NVals())
+	count := 0
+	m.Iterate(func(i, j int) bool {
+		fmt.Fprintf(stdout, "%d -> %d\n", i, j)
+		count++
+		return limit == 0 || count < limit
+	})
+	if limit > 0 && m.NVals() > limit {
+		fmt.Fprintf(stdout, "... (%d more)\n", m.NVals()-limit)
+	}
+	return nil
+}
+
+func printWithPaths(stdout io.Writer, sp *cfpq.SinglePathResult, limit int) error {
+	pairs := sp.Pairs()
+	fmt.Fprintf(stdout, "%d result pairs\n", len(pairs))
+	if limit > 0 && len(pairs) > limit {
+		pairs = pairs[:limit]
+	}
+	for _, p := range pairs {
+		steps, err := sp.Path(p[0], p[1])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%d -> %d via %s\n", p[0], p[1], strings.Join(cfpq.Word(steps), " "))
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mscfpq/internal/graph"
+)
+
+func TestDatagenList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"core", "taxonomy", "geospecies"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDatagenSingle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "core.txt")
+	var out strings.Builder
+	if err := run([]string{"-name", "core", "-scale", "0.5", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 || g.EdgeCount("subClassOf") == 0 {
+		t.Fatal("generated graph is empty")
+	}
+}
+
+func TestDatagenAll(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-all", "-scale", "0.001", "-dir", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8 {
+		t.Fatalf("generated %d files, want 8", len(entries))
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-name", "nope"}, &out); err == nil {
+		t.Fatal("expected error for unknown graph")
+	}
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("expected error for missing mode")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func silentLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+func TestBuildDBLoadAndSeed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 a 1\n1 a 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := buildDB([]string{"mine=" + path}, []string{"core@0.1"}, silentLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := db.List()
+	if len(names) != 2 || names[0] != "core" || names[1] != "mine" {
+		t.Fatalf("graphs = %v", names)
+	}
+	s, err := db.Get("mine")
+	if err != nil || !s.Graph().HasEdge(0, "a", 1) {
+		t.Fatalf("loaded graph wrong: %v", err)
+	}
+}
+
+func TestBuildDBErrors(t *testing.T) {
+	cases := []struct{ loads, seeds []string }{
+		{loads: []string{"noequals"}},
+		{loads: []string{"g=/nonexistent"}},
+		{seeds: []string{"unknown-graph"}},
+		{seeds: []string{"core@0"}},
+		{seeds: []string{"core@abc"}},
+	}
+	for i, c := range cases {
+		if _, err := buildDB(c.loads, c.seeds, silentLogger()); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var l listFlag
+	if err := l.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if l.String() != "a,b" || len(l) != 2 {
+		t.Fatalf("listFlag = %v", l)
+	}
+}

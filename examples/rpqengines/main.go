@@ -1,0 +1,81 @@
+// RPQ engines: regular queries as a partial case of CFPQ.
+//
+// The paper's conclusion demonstrates that the CFPQ machinery evaluates
+// regular path queries too, and asks how the approaches compare. This
+// example answers the same regular query four ways — Thompson NFA
+// product, minimized DFA product, CFPQ over the regex-derived grammar,
+// and the tensor (Kronecker) RSM engine — verifying they agree and
+// printing their timings.
+//
+// Run with: go run ./examples/rpqengines
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mscfpq"
+)
+
+func main() {
+	g, err := mscfpq.GenerateDataset("core", 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const regex = "subClassOf+ type_r?"
+	fmt.Printf("query %q over the core analog (%d vertices)\n", regex, g.NumVertices())
+
+	nfa, err := mscfpq.CompileRegex(regex)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := mscfpq.NewVertexSet(g.NumVertices(), 10, 20, 30, 40, 50)
+
+	start := time.Now()
+	viaNFA, err := mscfpq.EvalRegex(g, nfa, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tNFA := time.Since(start)
+
+	dfa := mscfpq.Determinize(nfa)
+	start = time.Now()
+	viaDFA, err := mscfpq.EvalRegexDFA(g, dfa, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tDFA := time.Since(start)
+
+	gr := mscfpq.RegexToGrammar(nfa)
+	w, err := mscfpq.ToWCNF(gr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	viaCFPQ, err := mscfpq.MultiSource(g, w, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tCFPQ := time.Since(start)
+
+	machine, err := mscfpq.NewRSM(gr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	viaTensor, err := machine.Eval(g) // all pairs
+	if err != nil {
+		log.Fatal(err)
+	}
+	tTensor := time.Since(start)
+
+	if !viaNFA.Equal(viaDFA) || !viaNFA.Equal(viaCFPQ.Answer()) {
+		log.Fatal("engines disagree")
+	}
+	fmt.Printf("  NFA product:      %6d pairs in %v\n", viaNFA.NVals(), tNFA.Round(time.Microsecond))
+	fmt.Printf("  minimized DFA:    %6d pairs in %v\n", viaDFA.NVals(), tDFA.Round(time.Microsecond))
+	fmt.Printf("  CFPQ (Alg. 2):    %6d pairs in %v\n", viaCFPQ.Answer().NVals(), tCFPQ.Round(time.Microsecond))
+	fmt.Printf("  tensor RSM:       %6d pairs in %v (all pairs, superset)\n", viaTensor.NVals(), tTensor.Round(time.Microsecond))
+	fmt.Println("multiple-source answers verified identical across the three MS engines")
+}

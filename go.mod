@@ -1,0 +1,3 @@
+module mscfpq
+
+go 1.22

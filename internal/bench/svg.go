@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// WriteFigureSVG renders one sweep series as a log-log line chart
+// comparing Algorithm 2 (fresh) against Algorithm 3 (cached index) —
+// the shape of the paper's Figures 3-8. Pure stdlib: the SVG is
+// assembled by hand.
+func WriteFigureSVG(w io.Writer, s FigureSeries) error {
+	if len(s.Points) == 0 {
+		return fmt.Errorf("bench: series %s/%s has no points", s.Graph, s.Query)
+	}
+	const (
+		width, height            = 640, 420
+		left, right, top, bottom = 70, 20, 40, 50
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+
+	// Ranges (log10) over both series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	yVal := func(d time.Duration) float64 {
+		v := float64(d.Microseconds()) / 1000.0
+		if v < 0.001 {
+			v = 0.001
+		}
+		return v
+	}
+	for _, p := range s.Points {
+		x := float64(p.ChunkSize)
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		for _, v := range []float64{yVal(p.MSMean), yVal(p.SmartMean)} {
+			minY, maxY = math.Min(minY, v), math.Max(maxY, v)
+		}
+	}
+	lx := func(x float64) float64 {
+		if maxX == minX {
+			return float64(left) + plotW/2
+		}
+		return float64(left) + plotW*(math.Log10(x)-math.Log10(minX))/(math.Log10(maxX)-math.Log10(minX))
+	}
+	ly := func(y float64) float64 {
+		if maxY == minY {
+			return float64(top) + plotH/2
+		}
+		return float64(top) + plotH*(1-(math.Log10(y)-math.Log10(minY))/(math.Log10(maxY)-math.Log10(minY)))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="16">%s — query %s (mean ms per chunk)</text>`+"\n",
+		left, xmlEscape(s.Graph), xmlEscape(s.Query))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, height-bottom, width-right, height-bottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, top, left, height-bottom)
+	// X ticks at each chunk size.
+	for _, p := range s.Points {
+		x := lx(float64(p.ChunkSize))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, height-bottom, x, height-bottom+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%d</text>`+"\n",
+			x, height-bottom+20, p.ChunkSize)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">source chunk size (log)</text>`+"\n",
+		left+int(plotW/2), height-10)
+	// Y ticks at decades.
+	for d := math.Floor(math.Log10(minY)); d <= math.Ceil(math.Log10(maxY)); d++ {
+		v := math.Pow(10, d)
+		if v < minY || v > maxY {
+			continue
+		}
+		y := ly(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			left, y, width-right, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%g</text>`+"\n",
+			left-6, y+4, v)
+	}
+	// Series polylines.
+	series := []struct {
+		name  string
+		color string
+		pick  func(FigurePoint) float64
+	}{
+		{"Algorithm 2 (fresh)", "#c0392b", func(p FigurePoint) float64 { return yVal(p.MSMean) }},
+		{"Algorithm 3 (cached index)", "#2471a3", func(p FigurePoint) float64 { return yVal(p.SmartMean) }},
+	}
+	for si, sr := range series {
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", lx(float64(p.ChunkSize)), ly(sr.pick(p))))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+			sr.color, strings.Join(pts, " "))
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				lx(float64(p.ChunkSize)), ly(sr.pick(p)), sr.color)
+		}
+		// Legend.
+		yLeg := top + 10 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-right-190, yLeg, width-right-170, yLeg, sr.color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			width-right-164, yLeg+4, xmlEscape(sr.name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

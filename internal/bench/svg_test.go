@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSeries() FigureSeries {
+	return FigureSeries{
+		Graph: "core",
+		Query: "G1",
+		Points: []FigurePoint{
+			{ChunkSize: 1, Chunks: 8, MSMean: 500 * time.Microsecond, SmartMean: 800 * time.Microsecond},
+			{ChunkSize: 10, Chunks: 8, MSMean: 2 * time.Millisecond, SmartMean: 1 * time.Millisecond},
+			{ChunkSize: 100, Chunks: 8, MSMean: 9 * time.Millisecond, SmartMean: 3 * time.Millisecond},
+		},
+	}
+}
+
+func TestWriteFigureSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigureSVG(&buf, sampleSeries()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, out)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "Algorithm 2 (fresh)", "Algorithm 3 (cached index)", "core"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two polylines (one per series), three markers each.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Fatalf("markers = %d", got)
+	}
+}
+
+func TestWriteFigureSVGEmptySeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigureSVG(&buf, FigureSeries{Graph: "x", Query: "q"}); err == nil {
+		t.Fatal("expected error for empty series")
+	}
+}
+
+func TestWriteFigureSVGSinglePoint(t *testing.T) {
+	s := sampleSeries()
+	s.Points = s.Points[:1]
+	var buf bytes.Buffer
+	if err := WriteFigureSVG(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Fatal("no SVG output")
+	}
+}

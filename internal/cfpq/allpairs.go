@@ -1,0 +1,37 @@
+package cfpq
+
+import (
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+)
+
+// AllPairs evaluates the context-free path query defined by w over g for
+// every pair of vertices, using Azimov's matrix-based algorithm
+// (Algorithm 1): relation matrices are seeded from the simple and eps
+// rules and grown by Boolean matrix multiplication
+//
+//	T^A += T^B * T^C   for every A -> B C
+//
+// until no matrix changes.
+func AllPairs(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result, error) {
+	if err := checkInputs(g, w); err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	n := g.NumVertices()
+	r := newResult(w, n)
+	initSimpleRules(r, g)
+	initEpsRules(r, n)
+
+	for changed := true; changed; {
+		changed = false
+		for _, rule := range w.BinRules {
+			prod := o.mul(r.T[rule.B], r.T[rule.C])
+			if matrix.AddInPlace(r.T[rule.A], prod) {
+				changed = true
+			}
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,27 @@
+// Package cfpq implements the paper's context-free path querying
+// algorithms in terms of sparse Boolean linear algebra:
+//
+//   - AllPairs: Azimov's matrix-based all-pairs algorithm (Algorithm 1),
+//     the baseline the paper modifies;
+//   - MultiSource: the multiple-source algorithm (Algorithm 2), which
+//     restricts computation to paths starting from a given vertex set by
+//     threading source matrices TSrc^A through the fixpoint;
+//   - Index.MultiSourceSmart: the optimized multiple-source algorithm
+//     (Algorithm 3), which caches previously computed sources across
+//     queries so each vertex is processed at most once;
+//   - SinglePath: all-pairs querying with single-path semantics
+//     (Terekhov et al., GRADES-NDA'20; the paper's Figure 2 experiment),
+//     which records one witness derivation per reachability fact and can
+//     reconstruct a concrete path for any result pair;
+//   - Worklist: a classic non-linear-algebra CFL-reachability solver used
+//     as the comparison baseline the paper's future-work section calls
+//     for.
+//
+// All algorithms accept grammars in weak Chomsky normal form
+// (grammar.WCNF) and graphs as Boolean label-matrix decompositions
+// (graph.Graph). Terminal symbols are resolved against edge labels
+// (including the "x_r" inverse convention) and vertex labels: a rule
+// A -> y where y labels vertices contributes the diagonal vertex matrix
+// V^y, matching Definition 2.14's interleaving of vertex labels into
+// path words.
+package cfpq

@@ -1,0 +1,134 @@
+package cfpq
+
+import (
+	"fmt"
+
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+)
+
+// Index is the persistent cache of the optimized multiple-source
+// algorithm (Algorithm 3): it pins a graph and a grammar and accumulates
+// the relation matrices T and the already-processed source matrices
+// TSrc across queries, so repeated or overlapping source sets reuse all
+// previously computed facts instead of recomputing them from scratch.
+//
+// An Index is bound to an immutable snapshot of the graph: mutating the
+// graph after NewIndex invalidates the cache (the paper's setting —
+// static graph, repeated queries). Not safe for concurrent use.
+type Index struct {
+	G *graph.Graph
+	W *grammar.WCNF
+
+	T    []*matrix.Bool // cached relation matrices, grown monotonically
+	TSrc []*matrix.Bool // sources already fully processed, per nonterminal
+
+	opts    Options
+	queries int
+}
+
+// NewIndex creates an empty cache for (g, w), seeding T from the simple
+// and eps rules once; subsequent queries share the seeded matrices.
+func NewIndex(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Index, error) {
+	if err := checkInputs(g, w); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	idx := &Index{G: g, W: w, opts: buildOptions(opts)}
+	r := newResult(w, n)
+	initSimpleRules(r, g)
+	initEpsRules(r, n)
+	idx.T = r.T
+	idx.TSrc = make([]*matrix.Bool, w.NumNonterms())
+	for a := range idx.TSrc {
+		idx.TSrc[a] = matrix.NewBool(n, n)
+	}
+	return idx, nil
+}
+
+// Queries returns the number of queries evaluated against the index.
+func (idx *Index) Queries() int { return idx.queries }
+
+// CachedSources returns the set of vertices whose start-nonterminal
+// paths are already fully computed.
+func (idx *Index) CachedSources() *matrix.Vector {
+	return matrix.DiagVector(idx.TSrc[idx.W.Start])
+}
+
+// MultiSourceSmart evaluates a multiple-source query against the cache
+// (Algorithm 3). Vertices of src already present in the index are
+// filtered out up front (line 3); during the fixpoint, propagated
+// sources are filtered against the cached TSrc (lines 9-10) so each
+// vertex is processed at most once per nonterminal across the lifetime
+// of the index.
+func (idx *Index) MultiSourceSmart(src *matrix.Vector) (*MSResult, error) {
+	if src == nil {
+		return nil, fmt.Errorf("cfpq: nil source vector")
+	}
+	return idx.MultiSourceSmartFrom(map[int]*matrix.Vector{idx.W.Start: src})
+}
+
+// MultiSourceSmartFrom is the generalization of Algorithm 3 the database
+// layer uses (Section 4.3.2): source sets may be requested for arbitrary
+// nonterminals (the named path patterns an operation depends on), and
+// the cache is shared across all of them.
+func (idx *Index) MultiSourceSmartFrom(srcByNT map[int]*matrix.Vector) (*MSResult, error) {
+	n := idx.G.NumVertices()
+	idx.queries++
+	w := idx.W
+
+	newSrc := make([]*matrix.Bool, w.NumNonterms())
+	for a := range newSrc {
+		newSrc[a] = matrix.NewBool(n, n)
+	}
+	requested := matrix.NewVector(n)
+	// Line 3: only sources not yet in the cache enter the computation.
+	for a, src := range srcByNT {
+		if a < 0 || a >= w.NumNonterms() {
+			return nil, fmt.Errorf("cfpq: source nonterminal id %d out of range", a)
+		}
+		if src == nil || src.Size() != n {
+			return nil, fmt.Errorf("cfpq: source vector size mismatch (graph has %d vertices)", n)
+		}
+		fresh := src.Clone()
+		fresh.DiffInPlace(matrix.DiagVector(idx.TSrc[a]))
+		matrix.AddInPlace(newSrc[a], fresh.Diag())
+		if a == w.Start {
+			requested = src.Clone()
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, rule := range w.BinRules {
+			m := idx.opts.mul(newSrc[rule.A], idx.T[rule.B])
+			if matrix.AddInPlace(idx.T[rule.A], idx.opts.mul(m, idx.T[rule.C])) {
+				changed = true
+			}
+			// TNewSrc^B += TNewSrc^A \ index.TSrc^B (line 9).
+			deltaB := matrix.Sub(newSrc[rule.A], idx.TSrc[rule.B])
+			if matrix.AddInPlace(newSrc[rule.B], deltaB) {
+				changed = true
+			}
+			// TNewSrc^C += getDst(M) \ index.TSrc^C (line 10).
+			deltaC := matrix.Sub(matrix.GetDst(m), idx.TSrc[rule.C])
+			if matrix.AddInPlace(newSrc[rule.C], deltaC) {
+				changed = true
+			}
+		}
+	}
+	// Fold the processed sources into the cache.
+	for a := range newSrc {
+		matrix.AddInPlace(idx.TSrc[a], newSrc[a])
+	}
+	return &MSResult{
+		Result:  &Result{W: w, T: idx.T},
+		Src:     idx.TSrc,
+		Sources: requested,
+	}, nil
+}
+
+// Relation returns the cached relation matrix for a nonterminal id. The
+// matrix is shared with the index and grows as queries are evaluated.
+func (idx *Index) Relation(a int) *matrix.Bool { return idx.T[a] }

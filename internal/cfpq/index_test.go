@@ -1,0 +1,153 @@
+package cfpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"mscfpq/internal/matrix"
+)
+
+func TestSmartMatchesMultiSourceSingleQuery(t *testing.T) {
+	g := paperGraph()
+	w := cndGrammar()
+	for _, srcIdx := range [][]int{{3}, {4}, {0, 5}, {0, 1, 2, 3, 4, 5}} {
+		src := matrix.NewVectorFromIndices(6, srcIdx)
+		idx, err := NewIndex(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smart, err := idx.MultiSourceSmart(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := MultiSource(g, w, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !smart.Answer().Equal(ms.Answer()) {
+			t.Fatalf("src=%v: smart=%v ms=%v", srcIdx, smart.Answer().Pairs(), ms.Answer().Pairs())
+		}
+	}
+}
+
+// Property: evaluating any chunked partition of a source set through a
+// shared index yields, chunk by chunk, the same answers as fresh
+// MultiSource runs — and the cache grows monotonically.
+func TestSmartChunkedEqualsFreshProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	labels := []string{"a", "b", "subClassOf"}
+	for name, w := range testGrammars() {
+		w := w
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 8; trial++ {
+				n := 5 + rng.Intn(15)
+				g := randomGraph(rng, n, 2+rng.Intn(3*n), labels)
+				idx, err := NewIndex(g, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				perm := rng.Perm(n)
+				chunk := 1 + rng.Intn(4)
+				prevCached := 0
+				for lo := 0; lo < n; lo += chunk {
+					hi := min(lo+chunk, n)
+					src := matrix.NewVectorFromIndices(n, perm[lo:hi])
+					smart, err := idx.MultiSourceSmart(src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fresh, err := MultiSource(g, w, src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !smart.Answer().Equal(fresh.Answer()) {
+						t.Fatalf("trial %d chunk %d-%d: smart differs from fresh\nsmart: %v\nfresh: %v",
+							trial, lo, hi, smart.Answer().Pairs(), fresh.Answer().Pairs())
+					}
+					cached := idx.CachedSources().NVals()
+					if cached < prevCached {
+						t.Fatalf("cache shrank: %d -> %d", prevCached, cached)
+					}
+					prevCached = cached
+				}
+				if idx.Queries() == 0 {
+					t.Fatal("query counter not advanced")
+				}
+			}
+		})
+	}
+}
+
+func TestSmartRepeatedQueryIsCached(t *testing.T) {
+	g := paperGraph()
+	w := cndGrammar()
+	idx, err := NewIndex(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := matrix.NewVectorFromIndices(6, []int{3, 4})
+	first, err := idx.MultiSourceSmart(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All requested sources must now be cached (propagation may cache
+	// more: sub-derivations make their mid vertices S-sources too).
+	cached := idx.CachedSources()
+	for _, v := range src.Ints() {
+		if !cached.Get(v) {
+			t.Fatalf("source %d not cached; cached = %v", v, cached)
+		}
+	}
+	// Re-asking must give the same answer without growing the cache.
+	second, err := idx.MultiSourceSmart(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Answer().Equal(first.Answer()) {
+		t.Fatal("repeated query answer differs")
+	}
+	if idx.CachedSources().NVals() != cached.NVals() {
+		t.Fatal("cache grew on repeated query")
+	}
+}
+
+func TestSmartSubsetQueryAfterSuperset(t *testing.T) {
+	g := paperGraph()
+	w := cndGrammar()
+	idx, err := NewIndex(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := matrix.NewVectorFromIndices(6, []int{0, 1, 2, 3, 4, 5})
+	if _, err := idx.MultiSourceSmart(all); err != nil {
+		t.Fatal(err)
+	}
+	sub := matrix.NewVectorFromIndices(6, []int{4})
+	smart, err := idx.MultiSourceSmart(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := MultiSource(g, w, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smart.Answer().Equal(fresh.Answer()) {
+		t.Fatalf("subset after superset differs: %v vs %v", smart.Answer().Pairs(), fresh.Answer().Pairs())
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	if _, err := NewIndex(nil, nil); err == nil {
+		t.Fatal("expected error for nil inputs")
+	}
+	idx, err := NewIndex(paperGraph(), cndGrammar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.MultiSourceSmart(matrix.NewVector(3)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	if _, err := idx.MultiSourceSmart(nil); err == nil {
+		t.Fatal("expected nil source error")
+	}
+}

@@ -1,0 +1,100 @@
+package cfpq
+
+import (
+	"fmt"
+
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+)
+
+// MSResult extends Result with the source matrices accumulated by the
+// multiple-source algorithm: Src[A] is the diagonal matrix of vertices
+// for which paths deriving from A were requested (directly or through
+// the propagation of Algorithm 2 lines 13-14).
+type MSResult struct {
+	*Result
+	Src []*matrix.Bool // per nonterminal: TSrc^A
+	// Sources is the original query source set.
+	Sources *matrix.Vector
+}
+
+// Answer returns the start-relation pairs restricted to the queried
+// sources — the multiple-source CFPQ answer. The raw T^S matrix also
+// contains the simple-rule seeds for all vertices (Algorithm 2 lines
+// 6-8), so restriction is required for a sound answer.
+func (r *MSResult) Answer() *matrix.Bool {
+	return matrix.ExtractRows(r.Start(), r.Sources)
+}
+
+// MultiSource evaluates the context-free path query for paths starting
+// at the vertices of src, using the paper's Algorithm 2. Compared to
+// AllPairs, every binary-rule step first filters the left operand by the
+// current source matrix:
+//
+//	M     = TSrc^A * T^B
+//	T^A  += M * T^C
+//	TSrc^B += TSrc^A
+//	TSrc^C += getDst(M)
+//
+// so only rows relevant to the requested sources are ever computed.
+func MultiSource(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector, opts ...Option) (*MSResult, error) {
+	if src == nil {
+		return nil, fmt.Errorf("cfpq: nil source vector")
+	}
+	return MultiSourceFrom(g, w, map[int]*matrix.Vector{w.Start: src}, opts...)
+}
+
+// MultiSourceFrom is the generalization of Algorithm 2 used by the
+// database layer (Section 4.3.2): it accepts source sets for arbitrary
+// nonterminals — the dependencies of a query operation — instead of only
+// the start symbol. The returned Sources field is the start
+// nonterminal's requested set (empty if none was given).
+func MultiSourceFrom(g *graph.Graph, w *grammar.WCNF, srcByNT map[int]*matrix.Vector, opts ...Option) (*MSResult, error) {
+	if err := checkInputs(g, w); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	o := buildOptions(opts)
+
+	r := &MSResult{Result: newResult(w, n), Sources: matrix.NewVector(n)}
+	r.Src = make([]*matrix.Bool, w.NumNonterms())
+	for a := range r.Src {
+		r.Src[a] = matrix.NewBool(n, n)
+	}
+	// Input matrix initialization (lines 4-5), generalized to requests
+	// for any nonterminal.
+	for a, src := range srcByNT {
+		if a < 0 || a >= w.NumNonterms() {
+			return nil, fmt.Errorf("cfpq: source nonterminal id %d out of range", a)
+		}
+		if src == nil || src.Size() != n {
+			return nil, fmt.Errorf("cfpq: source vector size mismatch (graph has %d vertices)", n)
+		}
+		matrix.AddInPlace(r.Src[a], src.Diag())
+	}
+	if src, ok := srcByNT[w.Start]; ok {
+		r.Sources = src.Clone()
+	}
+	// Simple rules initialization (lines 6-8) plus eps diagonals for the
+	// weak normal form.
+	initSimpleRules(r.Result, g)
+	initEpsRules(r.Result, n)
+
+	for changed := true; changed; {
+		changed = false
+		for _, rule := range w.BinRules {
+			m := o.mul(r.Src[rule.A], r.T[rule.B])
+			if matrix.AddInPlace(r.T[rule.A], o.mul(m, r.T[rule.C])) {
+				changed = true
+			}
+			if matrix.AddInPlace(r.Src[rule.B], r.Src[rule.A]) {
+				changed = true
+			}
+			if matrix.AddInPlace(r.Src[rule.C], matrix.GetDst(m)) {
+				changed = true
+			}
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,127 @@
+package cfpq
+
+import (
+	"fmt"
+
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+)
+
+// Options tunes algorithm execution.
+type Options struct {
+	// Workers is the number of goroutines used for large matrix
+	// multiplications; 0 or 1 means serial.
+	Workers int
+	// Hybrid switches multiplication kernels by operand density
+	// (matrix.MulHybrid), which pays off when relations densify during
+	// the fixpoint (deep hierarchies like go-hierarchy).
+	Hybrid bool
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithWorkers sets the multiplication parallelism.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithHybridKernels enables density-based kernel switching.
+func WithHybridKernels() Option { return func(o *Options) { o.Hybrid = true } }
+
+func buildOptions(opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+func (o Options) mul(a, b *matrix.Bool) *matrix.Bool {
+	if o.Hybrid {
+		return matrix.MulHybrid(a, b)
+	}
+	if o.Workers > 1 {
+		return matrix.MulPar(a, b, o.Workers)
+	}
+	return matrix.Mul(a, b)
+}
+
+// Result holds the context-free relations R_A computed by a query: one
+// Boolean matrix per grammar nonterminal, where T^A[i,j] means there is
+// a path from i to j whose word is derivable from A.
+type Result struct {
+	W *grammar.WCNF
+	T []*matrix.Bool // indexed by nonterminal id
+}
+
+// Matrix returns the relation matrix of the named nonterminal; nil if
+// the nonterminal does not exist.
+func (r *Result) Matrix(nonterm string) *matrix.Bool {
+	id := r.W.NontermID(nonterm)
+	if id < 0 {
+		return nil
+	}
+	return r.T[id]
+}
+
+// Start returns the relation matrix of the start nonterminal.
+func (r *Result) Start() *matrix.Bool { return r.T[r.W.Start] }
+
+// Pairs returns all (source, destination) pairs of the start relation.
+func (r *Result) Pairs() [][2]int { return r.Start().Pairs() }
+
+// PairsFrom returns the start-relation pairs whose source is in src.
+func (r *Result) PairsFrom(src *matrix.Vector) [][2]int {
+	return matrix.ExtractRows(r.Start(), src).Pairs()
+}
+
+// ReachableFrom returns the set of vertices to such that (v, to) is in
+// the start relation for some v in src.
+func (r *Result) ReachableFrom(src *matrix.Vector) *matrix.Vector {
+	return matrix.ReduceCols(matrix.ExtractRows(r.Start(), src))
+}
+
+// newResult allocates empty relation matrices for every nonterminal.
+func newResult(w *grammar.WCNF, n int) *Result {
+	r := &Result{W: w, T: make([]*matrix.Bool, w.NumNonterms())}
+	for a := range r.T {
+		r.T[a] = matrix.NewBool(n, n)
+	}
+	return r
+}
+
+// initSimpleRules seeds the relation matrices from the simple rules
+// (Algorithm 1 line 3 / Algorithm 2 lines 6-8): for A -> t, T^A gains
+// the adjacency matrix of edge label t (transpose for inverse labels)
+// and the diagonal vertex matrix of vertex label t.
+func initSimpleRules(r *Result, g *graph.Graph) {
+	for _, rule := range r.W.TermRules {
+		name := r.W.Terms[rule.Term]
+		if em := g.EdgeMatrix(name); em.NVals() > 0 {
+			matrix.AddInPlace(r.T[rule.A], em)
+		}
+		if vs := g.VertexSet(name); vs.NVals() > 0 {
+			matrix.AddInPlace(r.T[rule.A], vs.Diag())
+		}
+	}
+}
+
+// initEpsRules seeds diagonals for nullable nonterminals (Algorithm 1
+// lines 5-6): A -> eps relates every vertex to itself.
+func initEpsRules(r *Result, n int) {
+	for a, nullable := range r.W.Nullable {
+		if nullable {
+			matrix.AddInPlace(r.T[a], matrix.Identity(n))
+		}
+	}
+}
+
+func checkInputs(g *graph.Graph, w *grammar.WCNF) error {
+	if g == nil || w == nil {
+		return fmt.Errorf("cfpq: nil graph or grammar")
+	}
+	if w.NumNonterms() == 0 {
+		return fmt.Errorf("cfpq: grammar has no nonterminals")
+	}
+	return nil
+}

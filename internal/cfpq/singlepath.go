@@ -1,0 +1,177 @@
+package cfpq
+
+import (
+	"fmt"
+
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+)
+
+// provKind tags how a relation entry was first derived.
+type provKind uint8
+
+const (
+	provEdge   provKind = iota // A -> t matched a graph edge
+	provVertex                 // A -> t matched a vertex label (self pair)
+	provEps                    // A -> eps (trivial path)
+	provBin                    // A -> B C split at a mid vertex
+)
+
+// provEntry records the first-discovered derivation of a relation entry.
+// First-discovery order makes the provenance graph acyclic, so path
+// extraction terminates.
+type provEntry struct {
+	kind provKind
+	mid  uint32 // provBin: split vertex
+	rule int32  // provBin: BinRules index; provEdge/provVertex: terminal id
+}
+
+// PathStep is one edge of an extracted path; for vertex-label terminals
+// Src == Dst and Label is the vertex label.
+type PathStep struct {
+	Src, Dst int
+	Label    string
+	// VertexLabel marks a zero-length step contributed by a vertex label
+	// (Definition 2.14 interleaves vertex labels into path words).
+	VertexLabel bool
+}
+
+// SinglePathResult is an all-pairs result that can additionally
+// reconstruct one witness path per reachability fact, following the
+// single-path semantics of Terekhov et al. (GRADES-NDA'20) that the
+// paper's Figure 2 experiment measures.
+type SinglePathResult struct {
+	*Result
+	prov []map[uint64]provEntry // per nonterminal
+}
+
+// SinglePath runs the all-pairs algorithm while recording, for every
+// entry of every relation matrix, the first derivation that produced it
+// (a witness mid vertex and rule for binary steps). The extra bookkeeping
+// is the measured cost of single-path semantics over plain reachability.
+func SinglePath(g *graph.Graph, w *grammar.WCNF) (*SinglePathResult, error) {
+	if err := checkInputs(g, w); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	r := &SinglePathResult{Result: newResult(w, n), prov: make([]map[uint64]provEntry, w.NumNonterms())}
+	for a := range r.prov {
+		r.prov[a] = map[uint64]provEntry{}
+	}
+
+	// Simple rules, recording terminal provenance. Edge beats vertex
+	// label if both somehow apply; entries record their first deriver.
+	for _, rule := range w.TermRules {
+		name := w.Terms[rule.Term]
+		em := g.EdgeMatrix(name)
+		em.Iterate(func(i, j int) bool {
+			key := matrix.Key(i, j)
+			if _, seen := r.prov[rule.A][key]; !seen && !r.T[rule.A].Get(i, j) {
+				r.prov[rule.A][key] = provEntry{kind: provEdge, rule: int32(rule.Term)}
+				r.T[rule.A].Set(i, j)
+			}
+			return true
+		})
+		for _, v := range g.VertexSet(name).Ints() {
+			key := matrix.Key(v, v)
+			if !r.T[rule.A].Get(v, v) {
+				r.prov[rule.A][key] = provEntry{kind: provVertex, rule: int32(rule.Term)}
+				r.T[rule.A].Set(v, v)
+			}
+		}
+	}
+	for a, nullable := range w.Nullable {
+		if !nullable {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if !r.T[a].Get(i, i) {
+				r.prov[a][matrix.Key(i, i)] = provEntry{kind: provEps}
+				r.T[a].Set(i, i)
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for ri, rule := range w.BinRules {
+			prod, wit := matrix.MulWitness(r.T[rule.B], r.T[rule.C])
+			fresh := matrix.Sub(prod, r.T[rule.A])
+			if fresh.NVals() == 0 {
+				continue
+			}
+			fresh.Iterate(func(i, j int) bool {
+				key := matrix.Key(i, j)
+				r.prov[rule.A][key] = provEntry{kind: provBin, mid: wit[key], rule: int32(ri)}
+				return true
+			})
+			matrix.AddInPlace(r.T[rule.A], fresh)
+			changed = true
+		}
+	}
+	return r, nil
+}
+
+// Path reconstructs one path witnessing (src, dst) in the start
+// relation. It returns an error if the pair is not in the relation.
+// Trivial (eps) derivations yield an empty step list.
+func (r *SinglePathResult) Path(src, dst int) ([]PathStep, error) {
+	return r.PathFor(r.W.Nonterms[r.W.Start], src, dst)
+}
+
+// PathFor reconstructs one path witnessing (src, dst) in the relation of
+// the named nonterminal.
+func (r *SinglePathResult) PathFor(nonterm string, src, dst int) ([]PathStep, error) {
+	a := r.W.NontermID(nonterm)
+	if a < 0 {
+		return nil, fmt.Errorf("cfpq: unknown nonterminal %q", nonterm)
+	}
+	if !r.T[a].Get(src, dst) {
+		return nil, fmt.Errorf("cfpq: pair (%d,%d) not in relation of %s", src, dst, nonterm)
+	}
+	var steps []PathStep
+	if err := r.extract(a, src, dst, &steps, 0); err != nil {
+		return nil, err
+	}
+	return steps, nil
+}
+
+// Word returns the label word of a step sequence.
+func Word(steps []PathStep) []string {
+	out := make([]string, len(steps))
+	for i, s := range steps {
+		out[i] = s.Label
+	}
+	return out
+}
+
+const maxExtractDepth = 1 << 22 // guards against provenance corruption
+
+func (r *SinglePathResult) extract(a, src, dst int, steps *[]PathStep, depth int) error {
+	if depth > maxExtractDepth {
+		return fmt.Errorf("cfpq: path extraction exceeded depth bound (corrupt provenance?)")
+	}
+	p, ok := r.prov[a][matrix.Key(src, dst)]
+	if !ok {
+		return fmt.Errorf("cfpq: missing provenance for (%s,%d,%d)", r.W.Nonterms[a], src, dst)
+	}
+	switch p.kind {
+	case provEps:
+		return nil
+	case provEdge:
+		*steps = append(*steps, PathStep{Src: src, Dst: dst, Label: r.W.Terms[p.rule]})
+		return nil
+	case provVertex:
+		*steps = append(*steps, PathStep{Src: src, Dst: dst, Label: r.W.Terms[p.rule], VertexLabel: true})
+		return nil
+	case provBin:
+		rule := r.W.BinRules[p.rule]
+		if err := r.extract(rule.B, src, int(p.mid), steps, depth+1); err != nil {
+			return err
+		}
+		return r.extract(rule.C, int(p.mid), dst, steps, depth+1)
+	default:
+		return fmt.Errorf("cfpq: unknown provenance kind %d", p.kind)
+	}
+}

@@ -1,0 +1,114 @@
+package cfpq
+
+import (
+	"fmt"
+
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+)
+
+// MSSinglePathResult is a multiple-source result with single-path
+// semantics: the relation matrices are restricted the way Algorithm 2
+// restricts them, and every derived fact carries enough provenance to
+// reconstruct one witness path.
+type MSSinglePathResult struct {
+	*SinglePathResult
+	// Src holds the accumulated TSrc matrices, as in MSResult.
+	Src []*matrix.Bool
+	// Sources is the original query source set.
+	Sources *matrix.Vector
+}
+
+// Answer returns the start-relation pairs restricted to the queried
+// sources (see MSResult.Answer).
+func (r *MSSinglePathResult) Answer() *matrix.Bool {
+	return matrix.ExtractRows(r.Start(), r.Sources)
+}
+
+// MultiSourceSinglePath combines Algorithm 2 with single-path
+// semantics: it evaluates the query only for paths starting at src
+// while recording, for every derived fact, the first derivation that
+// produced it. Combining the two is the natural extension of the
+// paper's Figure 2 experiment (single-path extraction) to the
+// multiple-source setting the paper advocates.
+func MultiSourceSinglePath(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector) (*MSSinglePathResult, error) {
+	if err := checkInputs(g, w); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	if src == nil || src.Size() != n {
+		return nil, fmt.Errorf("cfpq: source vector size mismatch (graph has %d vertices)", n)
+	}
+
+	r := &MSSinglePathResult{
+		SinglePathResult: &SinglePathResult{
+			Result: newResult(w, n),
+			prov:   make([]map[uint64]provEntry, w.NumNonterms()),
+		},
+		Src:     make([]*matrix.Bool, w.NumNonterms()),
+		Sources: src.Clone(),
+	}
+	for a := range r.prov {
+		r.prov[a] = map[uint64]provEntry{}
+		r.Src[a] = matrix.NewBool(n, n)
+	}
+	matrix.AddInPlace(r.Src[w.Start], src.Diag())
+
+	// Simple and eps rules with terminal provenance (as in SinglePath).
+	for _, rule := range w.TermRules {
+		name := w.Terms[rule.Term]
+		g.EdgeMatrix(name).Iterate(func(i, j int) bool {
+			if !r.T[rule.A].Get(i, j) {
+				r.prov[rule.A][matrix.Key(i, j)] = provEntry{kind: provEdge, rule: int32(rule.Term)}
+				r.T[rule.A].Set(i, j)
+			}
+			return true
+		})
+		for _, v := range g.VertexSet(name).Ints() {
+			if !r.T[rule.A].Get(v, v) {
+				r.prov[rule.A][matrix.Key(v, v)] = provEntry{kind: provVertex, rule: int32(rule.Term)}
+				r.T[rule.A].Set(v, v)
+			}
+		}
+	}
+	for a, nullable := range w.Nullable {
+		if !nullable {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if !r.T[a].Get(i, i) {
+				r.prov[a][matrix.Key(i, i)] = provEntry{kind: provEps}
+				r.T[a].Set(i, i)
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for ri, rule := range w.BinRules {
+			// M = TSrc^A * T^B restricts rows to the current sources;
+			// because TSrc^A is diagonal, M's entries are T^B entries,
+			// so witnesses found against M decompose through real facts.
+			m := matrix.Mul(r.Src[rule.A], r.T[rule.B])
+			prod, wit := matrix.MulWitness(m, r.T[rule.C])
+			fresh := matrix.Sub(prod, r.T[rule.A])
+			if fresh.NVals() > 0 {
+				fresh.Iterate(func(i, j int) bool {
+					key := matrix.Key(i, j)
+					r.prov[rule.A][key] = provEntry{kind: provBin, mid: wit[key], rule: int32(ri)}
+					return true
+				})
+				matrix.AddInPlace(r.T[rule.A], fresh)
+				changed = true
+			}
+			if matrix.AddInPlace(r.Src[rule.B], r.Src[rule.A]) {
+				changed = true
+			}
+			if matrix.AddInPlace(r.Src[rule.C], matrix.GetDst(m)) {
+				changed = true
+			}
+		}
+	}
+	return r, nil
+}

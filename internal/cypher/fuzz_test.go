@@ -1,0 +1,28 @@
+package cypher
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that lexical errors are
+// reported as errors, for arbitrary input. Run with `go test -fuzz=FuzzParse`;
+// the seed corpus also runs under plain `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`MATCH (v)-[:a]->(u) RETURN v, u`,
+		`PATH PATTERN S = ()-/ [:a ~S :b] | [:a :b] /->() MATCH (v)-/ ~S /->(to) RETURN v, to`,
+		`CREATE (a:N {k: 'v', n: 42})-[:e]->(b)`,
+		`MATCH (v) WHERE id(v) IN [1,2] AND v.x = 'y' RETURN count(v) ORDER BY v DESC SKIP 1 LIMIT 2`,
+		`MATCH (v)<-/ [:a]* <:b /-(u) RETURN v AS x`,
+		`MATCH (v)-/`,
+		`-/ /-> ~ [ ] | < : (`,
+		"MATCH (v {s: 'O\\'Hara'}) RETURN v",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err == nil && q == nil {
+			t.Fatal("nil query without error")
+		}
+	})
+}

@@ -1,0 +1,354 @@
+// Package gdb is the in-memory graph database engine — the slice of
+// RedisGraph the paper extends: matrix-backed graph storage, the Cypher
+// front end (internal/cypher), execution-plan building and evaluation
+// (internal/plan) with full path-pattern support, and graph management.
+// The RESP server in internal/resp exposes it over the wire.
+package gdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mscfpq/internal/cypher"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/plan"
+)
+
+// DB is a named collection of graphs, safe for concurrent use: writes
+// (CREATE, DELETE) take exclusive locks, queries share read locks.
+type DB struct {
+	mu     sync.RWMutex
+	graphs map[string]*GraphStore
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{graphs: map[string]*GraphStore{}}
+}
+
+// GraphStore couples a labeled graph with node properties and a cache
+// of path-pattern contexts so repeated queries with the same PATH
+// PATTERN declarations share one Algorithm 3 index (the paper's
+// motivating scenario for the optimized multiple-source algorithm).
+type GraphStore struct {
+	mu      sync.RWMutex
+	g       *graph.Graph
+	props   map[int]map[string]cypher.Value
+	version int // bumped on every write; invalidates cached contexts
+
+	ctxMu    sync.Mutex
+	ctxCache map[string]*cachedCtx
+	ctxHits  int
+}
+
+type cachedCtx struct {
+	ctx     *plan.PathCtx
+	version int
+}
+
+// NewGraphStore wraps an existing graph (no properties).
+func NewGraphStore(g *graph.Graph) *GraphStore {
+	return &GraphStore{
+		g:        g,
+		props:    map[int]map[string]cypher.Value{},
+		ctxCache: map[string]*cachedCtx{},
+	}
+}
+
+// pathCtxFor returns a shared path-pattern context for the query's
+// declarations, rebuilding it when the graph version changed. Queries
+// without declarations always get a fresh empty context (cheap).
+func (s *GraphStore) pathCtxFor(q *cypher.Query) (*plan.PathCtx, error) {
+	if len(q.PathPatterns) == 0 {
+		return plan.NewPathCtx(s.g, nil)
+	}
+	key := plan.CtxKey(q.PathPatterns)
+	s.ctxMu.Lock()
+	defer s.ctxMu.Unlock()
+	if c, ok := s.ctxCache[key]; ok && c.version == s.version {
+		s.ctxHits++
+		return c.ctx, nil
+	}
+	ctx, err := plan.NewPathCtx(s.g, q.PathPatterns)
+	if err != nil {
+		return nil, err
+	}
+	s.ctxCache[key] = &cachedCtx{ctx: ctx, version: s.version}
+	return ctx, nil
+}
+
+// CtxCacheHits reports how many queries reused a cached path-pattern
+// context (and its warmed multiple-source index).
+func (s *GraphStore) CtxCacheHits() int {
+	s.ctxMu.Lock()
+	defer s.ctxMu.Unlock()
+	return s.ctxHits
+}
+
+// Graph exposes the underlying labeled graph.
+func (s *GraphStore) Graph() *graph.Graph { return s.g }
+
+// PropEquals implements plan.PropStore.
+func (s *GraphStore) PropEquals(v int, key string, val cypher.Value) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.props[v]
+	if !ok {
+		return false
+	}
+	have, ok := p[key]
+	if !ok {
+		return false
+	}
+	return have == val
+}
+
+// SetProp sets a node property.
+func (s *GraphStore) SetProp(v int, key string, val cypher.Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.props[v]
+	if p == nil {
+		p = map[string]cypher.Value{}
+		s.props[v] = p
+	}
+	p[key] = val
+}
+
+// QueryResult is the outcome of one statement.
+type QueryResult struct {
+	Columns []string
+	Rows    [][]int64
+	// Write statistics (CREATE).
+	NodesCreated int
+	EdgesCreated int
+}
+
+// AddGraph registers a pre-built graph under a name, replacing any
+// existing graph with that name.
+func (db *DB) AddGraph(name string, g *graph.Graph) *GraphStore {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := NewGraphStore(g)
+	db.graphs[name] = s
+	return s
+}
+
+// Get returns the named graph store.
+func (db *DB) Get(name string) (*GraphStore, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("gdb: graph %q does not exist", name)
+	}
+	return s, nil
+}
+
+// Delete removes a graph; it reports whether it existed.
+func (db *DB) Delete(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.graphs[name]
+	delete(db.graphs, name)
+	return ok
+}
+
+// List returns the sorted graph names.
+func (db *DB) List() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.graphs))
+	for n := range db.graphs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query parses and executes a statement against the named graph.
+// CREATE statements create the graph on first use; MATCH statements
+// require it to exist.
+func (db *DB) Query(name, src string) (*QueryResult, error) {
+	q, err := cypher.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if q.Create != nil {
+		return db.runCreate(name, q)
+	}
+	s, err := db.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.runMatch(q)
+}
+
+// Explain parses and plans a MATCH statement, returning the plan text.
+func (db *DB) Explain(name, src string) (string, error) {
+	q, err := cypher.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	if q.Match == nil {
+		return "", fmt.Errorf("gdb: EXPLAIN requires a MATCH query")
+	}
+	s, err := db.Get(name)
+	if err != nil {
+		return "", err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	env := plan.NewEnv(s.g, nil, s)
+	p, err := plan.Build(q, env)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// Stats summarizes the named graph: vertices, edges, and per-label
+// counts (the GRAPH.STATS command).
+func (db *DB) Stats(name string) ([]string, error) {
+	s, err := db.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.g.Stats()
+	out := []string{
+		fmt.Sprintf("Vertices: %d", st.Vertices),
+		fmt.Sprintf("Edges: %d", st.Edges),
+	}
+	labels := make([]string, 0, len(st.ByLabel))
+	for l := range st.ByLabel {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		out = append(out, fmt.Sprintf("Label %s: %d", l, st.ByLabel[l]))
+	}
+	for _, l := range s.g.VertexLabels() {
+		out = append(out, fmt.Sprintf("Vertex label %s: %d", l, s.g.VertexSet(l).NVals()))
+	}
+	return out, nil
+}
+
+// Profile parses, plans and executes a MATCH statement with
+// per-operation instrumentation, returning the profile lines.
+func (db *DB) Profile(name, src string) ([]string, error) {
+	q, err := cypher.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if q.Match == nil {
+		return nil, fmt.Errorf("gdb: PROFILE requires a MATCH query")
+	}
+	s, err := db.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	env := plan.NewEnv(s.g, nil, s)
+	p, err := plan.Build(q, env)
+	if err != nil {
+		return nil, err
+	}
+	_, entries, err := p.ExecuteProfiled()
+	if err != nil {
+		return nil, err
+	}
+	return plan.RenderProfile(entries), nil
+}
+
+func (s *GraphStore) runMatch(q *cypher.Query) (*QueryResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ctx, err := s.pathCtxFor(q)
+	if err != nil {
+		return nil, err
+	}
+	env := plan.NewEnv(s.g, nil, s)
+	p, err := plan.BuildWithCtx(q, env, ctx)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := p.Execute()
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Columns: rs.Columns, Rows: rs.Rows}, nil
+}
+
+func (db *DB) runCreate(name string, q *cypher.Query) (*QueryResult, error) {
+	db.mu.Lock()
+	s, ok := db.graphs[name]
+	if !ok {
+		s = NewGraphStore(graph.New(0))
+		db.graphs[name] = s
+	}
+	db.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.version++ // writes invalidate cached path-pattern contexts
+	res := &QueryResult{}
+	bound := map[string]int{}
+	newNode := func(n cypher.NodePattern) (int, error) {
+		if n.Var != "" {
+			if v, ok := bound[n.Var]; ok {
+				return v, nil
+			}
+		}
+		v := s.g.NumVertices()
+		// Materialize the vertex even when it has no labels.
+		if len(n.Labels) == 0 {
+			s.g.AddVertexLabel(v, "_node")
+		}
+		for _, l := range n.Labels {
+			s.g.AddVertexLabel(v, l)
+		}
+		for _, p := range n.Props {
+			pm := s.props[v]
+			if pm == nil {
+				pm = map[string]cypher.Value{}
+				s.props[v] = pm
+			}
+			pm[p.Key] = p.Val
+		}
+		if n.Var != "" {
+			bound[n.Var] = v
+		}
+		res.NodesCreated++
+		return v, nil
+	}
+	for _, pat := range q.Create.Patterns {
+		ids := make([]int, len(pat.Nodes))
+		for i, n := range pat.Nodes {
+			v, err := newNode(n)
+			if err != nil {
+				return nil, err
+			}
+			ids[i] = v
+		}
+		for i, conn := range pat.Connections {
+			rel, ok := conn.(cypher.RelPattern)
+			if !ok {
+				return nil, fmt.Errorf("gdb: CREATE supports only relationship patterns")
+			}
+			if len(rel.Types) != 1 {
+				return nil, fmt.Errorf("gdb: CREATE relationships need exactly one type")
+			}
+			src, dst := ids[i], ids[i+1]
+			if rel.Inverse {
+				src, dst = dst, src
+			}
+			s.g.AddEdge(src, rel.Types[0], dst)
+			res.EdgesCreated++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,5 @@
+package gdb
+
+import "mscfpq/internal/cypher"
+
+func propVal(s string) cypher.Value { return cypher.Value{Str: s} }

@@ -1,0 +1,99 @@
+package gdb
+
+import (
+	"strings"
+	"testing"
+
+	"mscfpq/internal/cypher"
+	"mscfpq/internal/graph"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "b", 2)
+	g.AddVertexLabel(0, "Person")
+	s := NewGraphStore(g)
+	s.SetProp(0, "name", cypher.Value{Str: "Ann O'Hara with spaces"})
+	s.SetProp(0, "age", cypher.Value{Int: 41, IsInt: true})
+	s.SetProp(2, "name", cypher.Value{Str: "multi\nline"})
+
+	var b strings.Builder
+	if err := WriteStore(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadStore(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ReadStore: %v\ndump:\n%s", err, b.String())
+	}
+	if !back.Graph().HasEdge(0, "a", 1) || !back.Graph().HasVertexLabel(0, "Person") {
+		t.Fatal("graph content lost")
+	}
+	for _, check := range []struct {
+		v   int
+		key string
+		val cypher.Value
+	}{
+		{0, "name", cypher.Value{Str: "Ann O'Hara with spaces"}},
+		{0, "age", cypher.Value{Int: 41, IsInt: true}},
+		{2, "name", cypher.Value{Str: "multi\nline"}},
+	} {
+		if !back.PropEquals(check.v, check.key, check.val) {
+			t.Fatalf("prop (%d,%s) lost", check.v, check.key)
+		}
+	}
+}
+
+func TestDumpRestoreThroughDB(t *testing.T) {
+	db := New()
+	if _, err := db.Query("g", `CREATE (a:N {name: 'x'})-[:e]->(b:N)`); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := db.Dump("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	if err := db2.Restore("copy", dump); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db2.Query("copy", `MATCH (v:N)-[:e]->(u) WHERE v.name = 'x' RETURN v, u`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("restored query: %v rows=%v", err, res)
+	}
+	if _, err := db.Dump("missing"); err == nil {
+		t.Fatal("expected error for missing graph")
+	}
+}
+
+func TestReadStoreErrors(t *testing.T) {
+	cases := []string{
+		"prop x name s \"v\"",                   // bad vertex
+		"order 2\nprop 5 name s \"v\"",          // out of range
+		"order 2\nprop 0 name i abc",            // bad int
+		"order 2\nprop 0 name s unquoted space", // bad quoting
+		"order 2\nprop 0 name z 1",              // unknown kind
+		"order 2\nprop 0 name",                  // short line
+		"0 a",                                   // bad graph body
+	}
+	for _, src := range cases {
+		if _, err := ReadStore(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadStore(%q): expected error", src)
+		}
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	db := New()
+	if _, err := db.Query("g", `CREATE (a:N {z: 1, a: 2, m: 'x'})`); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := db.Dump("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := db.Dump("g")
+	if d1 != d2 {
+		t.Fatal("dump not deterministic")
+	}
+}

@@ -1,0 +1,145 @@
+package grammar
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Analysis reports structural facts about a grammar.
+type Analysis struct {
+	// Productive nonterminals derive at least one terminal string.
+	Productive map[string]bool
+	// Reachable nonterminals occur in some sentential form derived from
+	// the start symbol.
+	Reachable map[string]bool
+	// Nullable nonterminals derive the empty string.
+	Nullable map[string]bool
+	// UsedTerminals are terminals reachable from the start symbol.
+	UsedTerminals map[string]bool
+}
+
+// Analyze computes the productive, reachable and nullable nonterminal
+// sets with standard fixpoint iterations.
+func Analyze(g *Grammar) *Analysis {
+	a := &Analysis{
+		Productive:    map[string]bool{},
+		Reachable:     map[string]bool{},
+		Nullable:      map[string]bool{},
+		UsedTerminals: map[string]bool{},
+	}
+	// Productive: A -> α with every nonterminal of α productive.
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Prods {
+			if a.Productive[p.LHS] {
+				continue
+			}
+			ok := true
+			for _, s := range p.RHS {
+				if !s.Term && !a.Productive[s.Name] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				a.Productive[p.LHS] = true
+				changed = true
+			}
+		}
+	}
+	// Nullable: A -> α with every symbol of α a nullable nonterminal
+	// (the empty RHS qualifies trivially).
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Prods {
+			if a.Nullable[p.LHS] {
+				continue
+			}
+			ok := true
+			for _, s := range p.RHS {
+				if s.Term || !a.Nullable[s.Name] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				a.Nullable[p.LHS] = true
+				changed = true
+			}
+		}
+	}
+	// Reachable: closure from the start symbol.
+	a.Reachable[g.Start] = true
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Prods {
+			if !a.Reachable[p.LHS] {
+				continue
+			}
+			for _, s := range p.RHS {
+				if s.Term {
+					if !a.UsedTerminals[s.Name] {
+						a.UsedTerminals[s.Name] = true
+						changed = true
+					}
+				} else if !a.Reachable[s.Name] {
+					a.Reachable[s.Name] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return a
+}
+
+// Prune returns an equivalent grammar without useless symbols: first
+// unproductive nonterminals are removed (with every production using
+// them), then unreachable ones. Returns an error if the start symbol
+// itself is unproductive, i.e. L(G) is empty.
+func Prune(g *Grammar) (*Grammar, error) {
+	a := Analyze(g)
+	if !a.Productive[g.Start] {
+		return nil, fmt.Errorf("grammar: start symbol %q is unproductive (empty language)", g.Start)
+	}
+	// Phase 1: keep only productions over productive nonterminals.
+	var kept []Production
+	for _, p := range g.Prods {
+		if !a.Productive[p.LHS] {
+			continue
+		}
+		ok := true
+		for _, s := range p.RHS {
+			if !s.Term && !a.Productive[s.Name] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, p)
+		}
+	}
+	// Phase 2: reachability over the reduced grammar.
+	mid := &Grammar{Start: g.Start, Prods: kept}
+	ra := Analyze(mid)
+	var final []Production
+	for _, p := range kept {
+		if ra.Reachable[p.LHS] {
+			final = append(final, p)
+		}
+	}
+	return New(g.Start, final)
+}
+
+// UnusedTerminals lists grammar terminals that cannot occur in any word
+// of L(G); useful for validating a query against a graph's labels.
+func UnusedTerminals(g *Grammar) []string {
+	a := Analyze(g)
+	var out []string
+	for _, t := range g.Terminals() {
+		if !a.UsedTerminals[t] {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

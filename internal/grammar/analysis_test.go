@@ -1,0 +1,126 @@
+package grammar
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeProductiveReachable(t *testing.T) {
+	g := MustNew("S", []Production{
+		{LHS: "S", RHS: []Symbol{N("A"), T("x")}},
+		{LHS: "A", RHS: []Symbol{T("a")}},
+		{LHS: "B", RHS: []Symbol{N("B"), T("b")}}, // unproductive (no base case)
+		{LHS: "C", RHS: []Symbol{T("c")}},         // productive but unreachable
+	})
+	a := Analyze(g)
+	if !a.Productive["S"] || !a.Productive["A"] || !a.Productive["C"] {
+		t.Fatalf("productive = %v", a.Productive)
+	}
+	if a.Productive["B"] {
+		t.Fatal("B must be unproductive")
+	}
+	if !a.Reachable["S"] || !a.Reachable["A"] || a.Reachable["B"] || a.Reachable["C"] {
+		t.Fatalf("reachable = %v", a.Reachable)
+	}
+	if !a.UsedTerminals["x"] || !a.UsedTerminals["a"] || a.UsedTerminals["c"] {
+		t.Fatalf("used terminals = %v", a.UsedTerminals)
+	}
+}
+
+func TestAnalyzeNullable(t *testing.T) {
+	g := MustNew("S", []Production{
+		{LHS: "S", RHS: []Symbol{N("A"), N("B")}},
+		{LHS: "A"},
+		{LHS: "B", RHS: []Symbol{N("A")}},
+		{LHS: "C", RHS: []Symbol{T("c")}},
+		{LHS: "S", RHS: []Symbol{N("C")}},
+	})
+	a := Analyze(g)
+	for _, nt := range []string{"S", "A", "B"} {
+		if !a.Nullable[nt] {
+			t.Fatalf("%s must be nullable: %v", nt, a.Nullable)
+		}
+	}
+	if a.Nullable["C"] {
+		t.Fatal("C must not be nullable")
+	}
+}
+
+func TestPruneRemovesUseless(t *testing.T) {
+	g := MustNew("S", []Production{
+		{LHS: "S", RHS: []Symbol{T("a"), N("S"), T("b")}},
+		{LHS: "S", RHS: []Symbol{T("a"), T("b")}},
+		{LHS: "S", RHS: []Symbol{N("Dead"), T("x")}}, // Dead is unproductive
+		{LHS: "Dead", RHS: []Symbol{N("Dead")}},
+		{LHS: "Island", RHS: []Symbol{T("z")}}, // unreachable
+	})
+	pruned, err := Prune(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pruned.Nonterminals(); !reflect.DeepEqual(got, []string{"S"}) {
+		t.Fatalf("nonterminals after prune = %v", got)
+	}
+	if len(pruned.Prods) != 2 {
+		t.Fatalf("productions after prune:\n%s", pruned)
+	}
+	// Language preserved on samples.
+	w := MustWCNF(pruned)
+	if !w.Accepts([]string{"a", "a", "b", "b"}) || w.Accepts([]string{"a", "x"}) {
+		t.Fatal("pruning changed the language")
+	}
+}
+
+func TestPruneEmptyLanguage(t *testing.T) {
+	g := MustNew("S", []Production{
+		{LHS: "S", RHS: []Symbol{N("S"), T("a")}},
+	})
+	if _, err := Prune(g); err == nil {
+		t.Fatal("expected error for empty language")
+	}
+}
+
+// Property: pruning never changes membership for sampled words.
+func TestPrunePreservesLanguageProperty(t *testing.T) {
+	g := MustNew("S", []Production{
+		{LHS: "S", RHS: []Symbol{T("a"), N("S"), T("b")}},
+		{LHS: "S", RHS: []Symbol{N("M")}},
+		{LHS: "M", RHS: []Symbol{T("m")}},
+		{LHS: "M", RHS: []Symbol{N("Loop"), T("q")}},
+		{LHS: "Loop", RHS: []Symbol{N("Loop"), T("l")}},
+		{LHS: "Orphan", RHS: []Symbol{T("o")}},
+	})
+	pruned, err := Prune(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := MustWCNF(g)
+	w2 := MustWCNF(pruned)
+	rng := rand.New(rand.NewSource(9))
+	terms := []string{"a", "b", "m", "q", "l", "o"}
+	for trial := 0; trial < 300; trial++ {
+		word := make([]string, rng.Intn(7))
+		for i := range word {
+			word[i] = terms[rng.Intn(len(terms))]
+		}
+		if w1.Accepts(word) != w2.Accepts(word) {
+			t.Fatalf("membership differs for %v", word)
+		}
+	}
+}
+
+func TestUnusedTerminals(t *testing.T) {
+	g := MustNew("S", []Production{
+		{LHS: "S", RHS: []Symbol{T("a")}},
+		{LHS: "Dead", RHS: []Symbol{T("z")}},
+	})
+	got := UnusedTerminals(g)
+	if len(got) != 1 || got[0] != "z" {
+		t.Fatalf("unused = %v", got)
+	}
+	if !strings.Contains(g.String(), "Dead") {
+		t.Fatal("sanity: Dead should render")
+	}
+}

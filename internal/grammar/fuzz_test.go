@@ -1,0 +1,39 @@
+package grammar
+
+import "testing"
+
+// FuzzParse asserts parsing never panics and that parsed grammars
+// normalize and render/re-parse cleanly.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"S -> a S b | a b",
+		"S -> eps\nS -> a",
+		"S -> A B\nA -> a | eps\nB -> b B | b",
+		"S -> subClassOf_r S subClassOf | type_r type",
+		"# comment\nS->a",
+		"S -> | a",
+		"-> a",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		// A grammar the parser accepts must render and re-parse.
+		back, err := ParseString(g.String())
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, g.String())
+		}
+		if back.Start != g.Start {
+			t.Fatalf("round trip changed start: %q vs %q", back.Start, g.Start)
+		}
+		// Normalization must not panic; errors are acceptable.
+		if w, err := ToWCNF(g); err == nil {
+			// The normalized grammar answers membership without panics.
+			w.Accepts([]string{"a", "b"})
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package grammar
+
+// Accepts reports whether the word (a sequence of terminal names) is in
+// the language of the normalized grammar, starting from the start symbol.
+//
+// It runs a CYK-style fixpoint generalized to weak CNF: table[A][i][j]
+// means A derives word[i:j]; empty spans are seeded from explicit eps
+// rules and grow through binary rules, exactly mirroring how Algorithm 1
+// treats a chain-shaped graph. Intended as a test oracle and for witness
+// verification, not for performance.
+func (w *WCNF) Accepts(word []string) bool {
+	return w.Derives(w.Start, word)
+}
+
+// Derives reports whether nonterminal a derives the given word.
+func (w *WCNF) Derives(a int, word []string) bool {
+	n := len(word)
+	nnt := len(w.Nonterms)
+	// table[A][i*(n+1)+j] with i <= j.
+	table := make([][]bool, nnt)
+	for A := range table {
+		table[A] = make([]bool, (n+1)*(n+1))
+	}
+	at := func(A, i, j int) bool { return table[A][i*(n+1)+j] }
+	set := func(A, i, j int) { table[A][i*(n+1)+j] = true }
+
+	for A, null := range w.Nullable {
+		if null {
+			for i := 0; i <= n; i++ {
+				set(A, i, i)
+			}
+		}
+	}
+	for i, t := range word {
+		id := w.TermID(t)
+		if id < 0 {
+			continue
+		}
+		for _, A := range w.byTerm[id] {
+			set(A, i, i+1)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range w.BinRules {
+			for i := 0; i <= n; i++ {
+				for j := i; j <= n; j++ {
+					if at(r.A, i, j) {
+						continue
+					}
+					for k := i; k <= j; k++ {
+						if at(r.B, i, k) && at(r.C, k, j) {
+							set(r.A, i, j)
+							changed = true
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return at(a, 0, n)
+}

@@ -1,0 +1,94 @@
+package grammar
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Parse reads a grammar in the textual format described in the package
+// comment. The start symbol is the LHS of the first production.
+func Parse(r io.Reader) (*Grammar, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	type rawProd struct {
+		lhs  string
+		rhs  []string
+		line int
+	}
+	var raw []rawProd
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lhs, rest, ok := strings.Cut(line, "->")
+		if !ok {
+			return nil, fmt.Errorf("grammar: line %d: missing \"->\"", lineNo)
+		}
+		lhs = strings.TrimSpace(lhs)
+		if lhs == "" || strings.ContainsAny(lhs, " \t|") {
+			return nil, fmt.Errorf("grammar: line %d: invalid LHS %q", lineNo, lhs)
+		}
+		for _, alt := range strings.Split(rest, "|") {
+			syms := strings.Fields(alt)
+			if len(syms) == 0 {
+				return nil, fmt.Errorf("grammar: line %d: empty alternative (use \"eps\")", lineNo)
+			}
+			raw = append(raw, rawProd{lhs: lhs, rhs: syms, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("grammar: read: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("grammar: no productions")
+	}
+
+	nts := map[string]bool{}
+	for _, p := range raw {
+		nts[p.lhs] = true
+	}
+	prods := make([]Production, 0, len(raw))
+	for _, p := range raw {
+		prod := Production{LHS: p.lhs}
+		if !(len(p.rhs) == 1 && p.rhs[0] == "eps") {
+			for _, s := range p.rhs {
+				if s == "eps" {
+					return nil, fmt.Errorf("grammar: line %d: eps must be the only symbol of an alternative", p.line)
+				}
+				prod.RHS = append(prod.RHS, Symbol{Name: s, Term: !nts[s]})
+			}
+		}
+		prods = append(prods, prod)
+	}
+	return New(raw[0].lhs, prods)
+}
+
+// ParseString parses a grammar from a string.
+func ParseString(s string) (*Grammar, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// LoadFile parses a grammar from a file.
+func LoadFile(path string) (*Grammar, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("grammar: %w", err)
+	}
+	defer f.Close()
+	g, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("grammar: %s: %w", path, err)
+	}
+	return g, nil
+}

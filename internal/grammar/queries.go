@@ -1,0 +1,74 @@
+package grammar
+
+// This file defines the query grammars used throughout the paper's
+// evaluation (Section 3.2, equations 1-3) plus classic grammars used in
+// tests and examples.
+
+// G1 is the same-generation query of eq. 1:
+//
+//	S -> subClassOf_r S subClassOf | type_r S type
+//	   | subClassOf_r subClassOf   | type_r type
+func G1() *Grammar {
+	return MustNew("S", []Production{
+		{LHS: "S", RHS: []Symbol{T("subClassOf_r"), N("S"), T("subClassOf")}},
+		{LHS: "S", RHS: []Symbol{T("type_r"), N("S"), T("type")}},
+		{LHS: "S", RHS: []Symbol{T("subClassOf_r"), T("subClassOf")}},
+		{LHS: "S", RHS: []Symbol{T("type_r"), T("type")}},
+	})
+}
+
+// G2 is the restricted same-generation query of eq. 2:
+//
+//	S -> subClassOf_r S subClassOf | subClassOf
+func G2() *Grammar {
+	return MustNew("S", []Production{
+		{LHS: "S", RHS: []Symbol{T("subClassOf_r"), N("S"), T("subClassOf")}},
+		{LHS: "S", RHS: []Symbol{T("subClassOf")}},
+	})
+}
+
+// Geo is the geospecies query of eq. 3 (Kuijpers et al.):
+//
+//	S -> broaderTransitive S broaderTransitive_r
+//	   | broaderTransitive broaderTransitive_r
+func Geo() *Grammar {
+	return MustNew("S", []Production{
+		{LHS: "S", RHS: []Symbol{T("broaderTransitive"), N("S"), T("broaderTransitive_r")}},
+		{LHS: "S", RHS: []Symbol{T("broaderTransitive"), T("broaderTransitive_r")}},
+	})
+}
+
+// AnBn is the bracket-matching grammar S -> a S b | a b, generating
+// {a^n b^n | n >= 1}. Used by the paper's running example (listing 5).
+func AnBn(a, b string) *Grammar {
+	return MustNew("S", []Production{
+		{LHS: "S", RHS: []Symbol{T(a), N("S"), T(b)}},
+		{LHS: "S", RHS: []Symbol{T(a), T(b)}},
+	})
+}
+
+// Dyck1 is the Dyck language of balanced brackets over one bracket pair,
+// including the empty string: S -> a S b S | eps.
+func Dyck1(a, b string) *Grammar {
+	return MustNew("S", []Production{
+		{LHS: "S", RHS: []Symbol{T(a), N("S"), T(b), N("S")}},
+		{LHS: "S"},
+	})
+}
+
+// SameGen builds a same-generation grammar over arbitrary relation
+// pairs: for every relation x in rels it adds
+//
+//	S -> x_r S x | x_r x
+//
+// G1 is SameGen("subClassOf", "type").
+func SameGen(rels ...string) *Grammar {
+	var prods []Production
+	for _, x := range rels {
+		prods = append(prods,
+			Production{LHS: "S", RHS: []Symbol{T(x + "_r"), N("S"), T(x)}},
+			Production{LHS: "S", RHS: []Symbol{T(x + "_r"), T(x)}},
+		)
+	}
+	return MustNew("S", prods)
+}

@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mscfpq/internal/matrix"
+)
+
+// Property (testing/quick): HasEdge agrees with the Boolean
+// decomposition for arbitrary edge batches, and the inverse matrix is
+// always the exact transpose.
+func TestEdgeDecompositionQuick(t *testing.T) {
+	type edge struct {
+		Src, Dst uint8
+		Label    bool // two labels: p / q
+	}
+	f := func(edges []edge) bool {
+		g := New(256)
+		for _, e := range edges {
+			label := "p"
+			if e.Label {
+				label = "q"
+			}
+			g.AddEdge(int(e.Src), label, int(e.Dst))
+		}
+		for _, e := range edges {
+			label := "p"
+			if e.Label {
+				label = "q"
+			}
+			if !g.HasEdge(int(e.Src), label, int(e.Dst)) {
+				return false
+			}
+			if !g.EdgeMatrix(label).Get(int(e.Src), int(e.Dst)) {
+				return false
+			}
+		}
+		for _, label := range []string{"p", "q"} {
+			if !g.EdgeMatrix(label + "_r").Equal(matrix.Transpose(g.EdgeMatrix(label))) {
+				return false
+			}
+		}
+		// Total entries across labels equals NumEdges.
+		total := g.EdgeCount("p") + g.EdgeCount("q")
+		return total == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): reachability is monotone — growing the
+// source set never shrinks the reachable set.
+func TestReachableMonotoneQuick(t *testing.T) {
+	type edge struct{ Src, Dst uint8 }
+	f := func(edges []edge, seeds []uint8) bool {
+		const n = 64
+		g := New(n)
+		for _, e := range edges {
+			g.AddEdge(int(e.Src)%n, "a", int(e.Dst)%n)
+		}
+		small := matrix.NewVector(n)
+		big := matrix.NewVector(n)
+		for i, s := range seeds {
+			big.Set(int(s) % n)
+			if i%2 == 0 {
+				small.Set(int(s) % n)
+			}
+		}
+		rSmall := g.Reachable(small, false)
+		rBig := g.Reachable(big, false)
+		for _, v := range rSmall.Ints() {
+			if !rBig.Get(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package matrix
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// accumulator gathers the union of sparse rows during multiplication.
+// It keeps a bitset over columns plus the list of 64-bit words touched in
+// the current round, so both accumulation and extraction cost time
+// proportional to the touched region, not the full matrix width.
+type accumulator struct {
+	words   []uint64
+	mark    []uint32 // epoch stamp per word; lazily resets words
+	touched []uint32 // word indices dirtied this round
+	epoch   uint32
+}
+
+func newAccumulator(ncols int) *accumulator {
+	nwords := (ncols + 63) / 64
+	return &accumulator{
+		words: make([]uint64, nwords),
+		mark:  make([]uint32, nwords),
+		epoch: 1,
+	}
+}
+
+// reset prepares the accumulator for a new row.
+func (a *accumulator) reset() {
+	a.touched = a.touched[:0]
+	a.epoch++
+	if a.epoch == 0 { // stamp wrapped: clear marks explicitly
+		for i := range a.mark {
+			a.mark[i] = 0
+		}
+		a.epoch = 1
+	}
+}
+
+// orRow ORs a sorted column-index row into the accumulator.
+func (a *accumulator) orRow(row []uint32) {
+	for _, c := range row {
+		w := c >> 6
+		if a.mark[w] != a.epoch {
+			a.mark[w] = a.epoch
+			a.words[w] = 0
+			a.touched = append(a.touched, w)
+		}
+		a.words[w] |= 1 << (c & 63)
+	}
+}
+
+// contains reports whether column c is set in the current round.
+func (a *accumulator) contains(c uint32) bool {
+	w := c >> 6
+	return a.mark[w] == a.epoch && a.words[w]&(1<<(c&63)) != 0
+}
+
+// extract appends the accumulated columns, sorted, to dst and returns it.
+func (a *accumulator) extract(dst []uint32) []uint32 {
+	if len(a.touched) == 0 {
+		return dst
+	}
+	sort.Slice(a.touched, func(i, j int) bool { return a.touched[i] < a.touched[j] })
+	for _, w := range a.touched {
+		word := a.words[w]
+		base := w << 6
+		for word != 0 {
+			dst = append(dst, base+uint32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return dst
+}
+
+// count returns the number of accumulated columns without extracting.
+func (a *accumulator) count() int {
+	n := 0
+	for _, w := range a.touched {
+		n += bits.OnesCount64(a.words[w])
+	}
+	return n
+}

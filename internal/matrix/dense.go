@@ -1,0 +1,206 @@
+package matrix
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Dense is a Boolean matrix stored as a bitset, one row per stripe of
+// 64-bit words. Same-generation relations on deep hierarchies (e.g. the
+// go-hierarchy graph) grow dense during the CFPQ fixpoint, where bitset
+// rows multiply far faster than sorted index slices; this mirrors the
+// sparse/bitmap format switching SuiteSparse:GraphBLAS performs.
+type Dense struct {
+	nrows, ncols int
+	wpr          int // words per row
+	words        []uint64
+}
+
+// NewDense returns an empty dense matrix.
+func NewDense(nrows, ncols int) *Dense {
+	if nrows < 0 || ncols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %dx%d", nrows, ncols))
+	}
+	wpr := (ncols + 63) / 64
+	return &Dense{nrows: nrows, ncols: ncols, wpr: wpr, words: make([]uint64, nrows*wpr)}
+}
+
+// FromBool converts a sparse matrix to dense form.
+func FromBool(b *Bool) *Dense {
+	d := NewDense(b.nrows, b.ncols)
+	for i, row := range b.rows {
+		base := i * d.wpr
+		for _, c := range row {
+			d.words[base+int(c>>6)] |= 1 << (c & 63)
+		}
+	}
+	return d
+}
+
+// ToBool converts back to the sparse representation.
+func (d *Dense) ToBool() *Bool {
+	out := NewBool(d.nrows, d.ncols)
+	for i := 0; i < d.nrows; i++ {
+		base := i * d.wpr
+		n := 0
+		for w := 0; w < d.wpr; w++ {
+			n += bits.OnesCount64(d.words[base+w])
+		}
+		if n == 0 {
+			continue
+		}
+		row := make([]uint32, 0, n)
+		for w := 0; w < d.wpr; w++ {
+			word := d.words[base+w]
+			wb := uint32(w << 6)
+			for word != 0 {
+				row = append(row, wb+uint32(bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
+		}
+		out.rows[i] = row
+		out.nvals += n
+	}
+	return out
+}
+
+// NRows returns the number of rows.
+func (d *Dense) NRows() int { return d.nrows }
+
+// NCols returns the number of columns.
+func (d *Dense) NCols() int { return d.ncols }
+
+// Set makes entry (i, j) true.
+func (d *Dense) Set(i, j int) {
+	d.check(i, j)
+	d.words[i*d.wpr+(j>>6)] |= 1 << (uint(j) & 63)
+}
+
+// Get reports entry (i, j).
+func (d *Dense) Get(i, j int) bool {
+	d.check(i, j)
+	return d.words[i*d.wpr+(j>>6)]&(1<<(uint(j)&63)) != 0
+}
+
+func (d *Dense) check(i, j int) {
+	if i < 0 || i >= d.nrows || j < 0 || j >= d.ncols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, d.nrows, d.ncols))
+	}
+}
+
+// NVals counts the true entries.
+func (d *Dense) NVals() int {
+	n := 0
+	for _, w := range d.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports whether two dense matrices are identical.
+func (d *Dense) Equal(o *Dense) bool {
+	if d.nrows != o.nrows || d.ncols != o.ncols {
+		return false
+	}
+	for i, w := range d.words {
+		if o.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the matrix.
+func (d *Dense) Clone() *Dense {
+	c := NewDense(d.nrows, d.ncols)
+	copy(c.words, d.words)
+	return c
+}
+
+// OrInPlace ORs o into d and reports whether d changed.
+func (d *Dense) OrInPlace(o *Dense) bool {
+	if d.nrows != o.nrows || d.ncols != o.ncols {
+		panic(fmt.Sprintf("matrix: OrInPlace shape mismatch %dx%d vs %dx%d", d.nrows, d.ncols, o.nrows, o.ncols))
+	}
+	changed := false
+	for i, w := range o.words {
+		merged := d.words[i] | w
+		if merged != d.words[i] {
+			d.words[i] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+// MulBoolDense multiplies a sparse left operand by a dense right
+// operand, producing a dense result: each set column k of a row of a
+// ORs b's k-th bitset row into the output row. This is the hot kernel
+// when relations densify during a fixpoint.
+func MulBoolDense(a *Bool, b *Dense) *Dense {
+	if a.ncols != b.nrows {
+		panic(fmt.Sprintf("matrix: MulBoolDense dimension mismatch %dx%d * %dx%d", a.nrows, a.ncols, b.nrows, b.ncols))
+	}
+	out := NewDense(a.nrows, b.ncols)
+	for i, row := range a.rows {
+		if len(row) == 0 {
+			continue
+		}
+		dst := out.words[i*out.wpr : (i+1)*out.wpr]
+		for _, k := range row {
+			src := b.words[int(k)*b.wpr : (int(k)+1)*b.wpr]
+			for w := range dst {
+				dst[w] |= src[w]
+			}
+		}
+	}
+	return out
+}
+
+// MulDense multiplies two dense matrices over the (OR, AND) semiring.
+func MulDense(a, b *Dense) *Dense {
+	if a.ncols != b.nrows {
+		panic(fmt.Sprintf("matrix: MulDense dimension mismatch %dx%d * %dx%d", a.nrows, a.ncols, b.nrows, b.ncols))
+	}
+	out := NewDense(a.nrows, b.ncols)
+	for i := 0; i < a.nrows; i++ {
+		arow := a.words[i*a.wpr : (i+1)*a.wpr]
+		dst := out.words[i*out.wpr : (i+1)*out.wpr]
+		for w, word := range arow {
+			base := w << 6
+			for word != 0 {
+				k := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				src := b.words[k*b.wpr : (k+1)*b.wpr]
+				for x := range dst {
+					dst[x] |= src[x]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Density returns the fraction of true entries.
+func (m *Bool) Density() float64 {
+	if m.nrows == 0 || m.ncols == 0 {
+		return 0
+	}
+	return float64(m.nvals) / (float64(m.nrows) * float64(m.ncols))
+}
+
+// hybridDensityThreshold is the right-operand density above which MulHybrid
+// switches to the bitset kernel. Chosen empirically: beyond a few
+// percent density the bitset OR beats merging sorted index slices.
+const hybridDensityThreshold = 0.05
+
+// MulHybrid multiplies choosing the kernel by operand density, like
+// GraphBLAS's automatic sparse/bitmap switching: dense right operands
+// take the bitset path, sparse ones the CSR path. The result is always
+// sparse form.
+func MulHybrid(a, b *Bool) *Bool {
+	if b.Density() >= hybridDensityThreshold {
+		return MulBoolDense(a, FromBool(b)).ToBool()
+	}
+	return Mul(a, b)
+}

@@ -1,0 +1,210 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		m, _ := randomMatrix(rng, 1+rng.Intn(20), 1+rng.Intn(90), 0.2)
+		d := FromBool(m)
+		if d.NVals() != m.NVals() {
+			t.Fatalf("nvals: dense %d sparse %d", d.NVals(), m.NVals())
+		}
+		back := d.ToBool()
+		mustValidate(t, back)
+		if !back.Equal(m) {
+			t.Fatal("round trip changed matrix")
+		}
+	}
+}
+
+func TestDenseSetGet(t *testing.T) {
+	d := NewDense(3, 130) // multiple words per row
+	d.Set(1, 0)
+	d.Set(1, 63)
+	d.Set(1, 64)
+	d.Set(2, 129)
+	if !d.Get(1, 0) || !d.Get(1, 63) || !d.Get(1, 64) || !d.Get(2, 129) {
+		t.Fatal("set bits not readable")
+	}
+	if d.Get(0, 0) || d.Get(1, 65) {
+		t.Fatal("phantom bits")
+	}
+	if d.NVals() != 4 {
+		t.Fatalf("NVals = %d", d.NVals())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Get(3, 0)
+}
+
+func TestDenseCloneEqualOr(t *testing.T) {
+	a := NewDense(2, 70)
+	a.Set(0, 5)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Set(1, 69)
+	if a.Equal(b) || a.Get(1, 69) {
+		t.Fatal("clone shares storage")
+	}
+	if !a.OrInPlace(b) {
+		t.Fatal("OR adding a bit must report change")
+	}
+	if !a.Get(1, 69) {
+		t.Fatal("OR lost bit")
+	}
+	if a.OrInPlace(b) {
+		t.Fatal("OR of subset must report no change")
+	}
+}
+
+func TestMulBoolDenseMatchesSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 30; trial++ {
+		a, _ := randomMatrix(rng, 1+rng.Intn(15), 1+rng.Intn(15), 0.25)
+		b, _ := randomMatrix(rng, a.NCols(), 1+rng.Intn(80), 0.25)
+		want := Mul(a, b)
+		got := MulBoolDense(a, FromBool(b)).ToBool()
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: dense kernel differs", trial)
+		}
+	}
+}
+
+func TestMulDenseMatchesSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 30; trial++ {
+		a, _ := randomMatrix(rng, 1+rng.Intn(15), 1+rng.Intn(70), 0.3)
+		b, _ := randomMatrix(rng, a.NCols(), 1+rng.Intn(70), 0.3)
+		want := FromBool(Mul(a, b))
+		got := MulDense(FromBool(a), FromBool(b))
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: MulDense differs", trial)
+		}
+	}
+}
+
+// Property (testing/quick): MulHybrid always agrees with Mul, whichever
+// kernel the density heuristic picks.
+func TestMulHybridAgreesQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	f := func(dense bool) bool {
+		density := 0.02
+		if dense {
+			density = 0.3
+		}
+		a, _ := randomMatrix(rng, 12, 18, 0.2)
+		b, _ := randomMatrix(rng, 18, 25, density)
+		return MulHybrid(a, b).Equal(Mul(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	m := NewBool(4, 5)
+	if m.Density() != 0 {
+		t.Fatal("empty density")
+	}
+	m.Set(0, 0)
+	m.Set(1, 1)
+	if got := m.Density(); got != 0.1 {
+		t.Fatalf("density = %v", got)
+	}
+	if NewBool(0, 0).Density() != 0 {
+		t.Fatal("degenerate density")
+	}
+}
+
+func TestDenseShapePanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewDense(-1, 2) },
+		func() { MulBoolDense(NewBool(2, 3), NewDense(4, 2)) },
+		func() { MulDense(NewDense(2, 3), NewDense(4, 2)) },
+		func() { NewDense(2, 2).OrInPlace(NewDense(3, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Kernel benchmarks: the CSR-vs-bitset format ablation.
+
+func benchPair(density float64) (*Bool, *Bool) {
+	rng := rand.New(rand.NewSource(99))
+	a, _ := randomMatrix(rng, 400, 400, 0.01)
+	b, _ := randomMatrix(rng, 400, 400, density)
+	return a, b
+}
+
+func BenchmarkMulSparseRHS(b *testing.B) {
+	x, y := benchPair(0.005)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkMulDenseRHSSparseKernel(b *testing.B) {
+	x, y := benchPair(0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkMulDenseRHSBitsetKernel(b *testing.B) {
+	x, y := benchPair(0.2)
+	d := FromBool(y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulBoolDense(x, d)
+	}
+}
+
+func BenchmarkMulHybrid(b *testing.B) {
+	x, y := benchPair(0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulHybrid(x, y)
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	x, _ := benchPair(0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transpose(x)
+	}
+}
+
+func BenchmarkAddInPlace(b *testing.B) {
+	x, y := benchPair(0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddInPlace(x.Clone(), y)
+	}
+}

@@ -1,0 +1,372 @@
+package matrix
+
+import "fmt"
+
+// Mul returns the Boolean product a * b over the (OR, AND) semiring.
+func Mul(a, b *Bool) *Bool {
+	if a.ncols != b.nrows {
+		panic(fmt.Sprintf("matrix: Mul dimension mismatch %dx%d * %dx%d", a.nrows, a.ncols, b.nrows, b.ncols))
+	}
+	out := NewBool(a.nrows, b.ncols)
+	if a.nvals == 0 || b.nvals == 0 {
+		return out
+	}
+	acc := newAccumulator(b.ncols)
+	mulRowsInto(a, b, out, 0, a.nrows, acc)
+	return out
+}
+
+// mulRowsInto computes rows [lo, hi) of a*b into out using acc.
+func mulRowsInto(a, b, out *Bool, lo, hi int, acc *accumulator) {
+	for i := lo; i < hi; i++ {
+		ra := a.rows[i]
+		if len(ra) == 0 {
+			continue
+		}
+		acc.reset()
+		nonEmpty := false
+		for _, k := range ra {
+			rb := b.rows[k]
+			if len(rb) == 0 {
+				continue
+			}
+			acc.orRow(rb)
+			nonEmpty = true
+		}
+		if !nonEmpty {
+			continue
+		}
+		row := acc.extract(make([]uint32, 0, acc.count()))
+		out.rows[i] = row
+		out.nvals += len(row)
+	}
+}
+
+// MulPar returns a * b, splitting row blocks across workers goroutines.
+// workers <= 1 falls back to the serial Mul.
+func MulPar(a, b *Bool, workers int) *Bool {
+	if a.ncols != b.nrows {
+		panic(fmt.Sprintf("matrix: MulPar dimension mismatch %dx%d * %dx%d", a.nrows, a.ncols, b.nrows, b.ncols))
+	}
+	if workers <= 1 || a.nrows < 2*workers {
+		return Mul(a, b)
+	}
+	out := NewBool(a.nrows, b.ncols)
+	if a.nvals == 0 || b.nvals == 0 {
+		return out
+	}
+	type block struct{ lo, hi int }
+	done := make(chan int, workers)
+	step := (a.nrows + workers - 1) / workers
+	nblocks := 0
+	for lo := 0; lo < a.nrows; lo += step {
+		hi := lo + step
+		if hi > a.nrows {
+			hi = a.nrows
+		}
+		nblocks++
+		go func(blk block) {
+			acc := newAccumulator(b.ncols)
+			n := 0
+			for i := blk.lo; i < blk.hi; i++ {
+				ra := a.rows[i]
+				if len(ra) == 0 {
+					continue
+				}
+				acc.reset()
+				for _, k := range ra {
+					acc.orRow(b.rows[k])
+				}
+				row := acc.extract(make([]uint32, 0, acc.count()))
+				if len(row) > 0 {
+					out.rows[i] = row // disjoint row ranges: no locking needed
+					n += len(row)
+				}
+			}
+			done <- n
+		}(block{lo, hi})
+	}
+	total := 0
+	for i := 0; i < nblocks; i++ {
+		total += <-done
+	}
+	out.nvals = total
+	return out
+}
+
+// Add returns the element-wise OR a + b.
+func Add(a, b *Bool) *Bool {
+	checkSameShape("Add", a, b)
+	out := NewBool(a.nrows, a.ncols)
+	for i := range a.rows {
+		row := unionRows(a.rows[i], b.rows[i])
+		out.rows[i] = row
+		out.nvals += len(row)
+	}
+	return out
+}
+
+// AddInPlace ORs b into a and reports whether a changed.
+func AddInPlace(a, b *Bool) bool {
+	checkSameShape("AddInPlace", a, b)
+	changed := false
+	for i := range a.rows {
+		rb := b.rows[i]
+		if len(rb) == 0 {
+			continue
+		}
+		ra := a.rows[i]
+		if len(ra) == 0 {
+			a.rows[i] = append([]uint32(nil), rb...)
+			a.nvals += len(rb)
+			changed = true
+			continue
+		}
+		if containsAll(ra, rb) {
+			continue
+		}
+		row := unionRows(ra, rb)
+		a.nvals += len(row) - len(ra)
+		a.rows[i] = row
+		changed = true
+	}
+	return changed
+}
+
+// Sub returns the set difference a \ b: entries of a not present in b.
+func Sub(a, b *Bool) *Bool {
+	checkSameShape("Sub", a, b)
+	out := NewBool(a.nrows, a.ncols)
+	for i := range a.rows {
+		row := diffRows(a.rows[i], b.rows[i])
+		out.rows[i] = row
+		out.nvals += len(row)
+	}
+	return out
+}
+
+// SubInPlace removes the entries of b from a and reports whether a changed.
+func SubInPlace(a, b *Bool) bool {
+	checkSameShape("SubInPlace", a, b)
+	changed := false
+	for i := range a.rows {
+		ra, rb := a.rows[i], b.rows[i]
+		if len(ra) == 0 || len(rb) == 0 {
+			continue
+		}
+		row := diffRows(ra, rb)
+		if len(row) != len(ra) {
+			a.nvals += len(row) - len(ra)
+			a.rows[i] = row
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersect returns the element-wise AND of a and b.
+func Intersect(a, b *Bool) *Bool {
+	checkSameShape("Intersect", a, b)
+	out := NewBool(a.nrows, a.ncols)
+	for i := range a.rows {
+		row := intersectRows(a.rows[i], b.rows[i])
+		out.rows[i] = row
+		out.nvals += len(row)
+	}
+	return out
+}
+
+// Transpose returns the transposed matrix.
+func Transpose(a *Bool) *Bool {
+	out := NewBool(a.ncols, a.nrows)
+	counts := make([]int, a.ncols)
+	for _, row := range a.rows {
+		for _, c := range row {
+			counts[c]++
+		}
+	}
+	for j, n := range counts {
+		if n > 0 {
+			out.rows[j] = make([]uint32, 0, n)
+		}
+	}
+	for i, row := range a.rows {
+		for _, c := range row {
+			out.rows[c] = append(out.rows[c], uint32(i))
+		}
+	}
+	out.nvals = a.nvals
+	return out
+}
+
+// Kron returns the Kronecker product a ⊗ b: a (ra x ca), b (rb x cb)
+// yield an (ra*rb) x (ca*cb) matrix with blocks b wherever a is true.
+func Kron(a, b *Bool) *Bool {
+	ra, ca := a.nrows, a.ncols
+	rb, cb := b.nrows, b.ncols
+	out := NewBool(ra*rb, ca*cb)
+	if a.nvals == 0 || b.nvals == 0 {
+		return out
+	}
+	for i1, rowA := range a.rows {
+		if len(rowA) == 0 {
+			continue
+		}
+		for i2 := 0; i2 < rb; i2++ {
+			rowB := b.rows[i2]
+			if len(rowB) == 0 {
+				continue
+			}
+			dst := make([]uint32, 0, len(rowA)*len(rowB))
+			for _, j1 := range rowA {
+				base := j1 * uint32(cb)
+				for _, j2 := range rowB {
+					dst = append(dst, base+j2)
+				}
+			}
+			out.rows[i1*rb+i2] = dst
+			out.nvals += len(dst)
+		}
+	}
+	return out
+}
+
+// TransitiveClosure returns the transitive closure of a square matrix
+// (without the reflexive diagonal unless already present), iterating
+// M += M*M until fixpoint.
+func TransitiveClosure(a *Bool) *Bool {
+	if a.nrows != a.ncols {
+		panic(fmt.Sprintf("matrix: TransitiveClosure of non-square %dx%d", a.nrows, a.ncols))
+	}
+	m := a.Clone()
+	for {
+		if !AddInPlace(m, Mul(m, m)) {
+			return m
+		}
+	}
+}
+
+// ExtractRows returns a copy of a containing only the rows listed in set;
+// all other rows are empty.
+func ExtractRows(a *Bool, set *Vector) *Bool {
+	if set.n != a.nrows {
+		panic(fmt.Sprintf("matrix: ExtractRows vector size %d does not match rows %d", set.n, a.nrows))
+	}
+	out := NewBool(a.nrows, a.ncols)
+	for _, i := range set.idx {
+		row := a.rows[i]
+		if len(row) == 0 {
+			continue
+		}
+		out.rows[i] = append([]uint32(nil), row...)
+		out.nvals += len(row)
+	}
+	return out
+}
+
+func checkSameShape(op string, a, b *Bool) {
+	if a.nrows != b.nrows || a.ncols != b.ncols {
+		panic(fmt.Sprintf("matrix: %s shape mismatch %dx%d vs %dx%d", op, a.nrows, a.ncols, b.nrows, b.ncols))
+	}
+}
+
+// unionRows merges two sorted duplicate-free slices into a new slice.
+func unionRows(a, b []uint32) []uint32 {
+	if len(a) == 0 {
+		return append([]uint32(nil), b...)
+	}
+	if len(b) == 0 {
+		return append([]uint32(nil), a...)
+	}
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// diffRows returns a \ b for sorted duplicate-free slices.
+func diffRows(a, b []uint32) []uint32 {
+	if len(a) == 0 {
+		return nil
+	}
+	if len(b) == 0 {
+		return append([]uint32(nil), a...)
+	}
+	out := make([]uint32, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// intersectRows returns a ∩ b for sorted duplicate-free slices.
+func intersectRows(a, b []uint32) []uint32 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// containsAll reports whether sorted slice a contains every element of b.
+func containsAll(a, b []uint32) bool {
+	if len(b) > len(a) {
+		return false
+	}
+	i := 0
+	for _, v := range b {
+		for i < len(a) && a[i] < v {
+			i++
+		}
+		if i >= len(a) || a[i] != v {
+			return false
+		}
+		i++
+	}
+	return true
+}

@@ -1,0 +1,275 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMulAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n1, n2, n3 := 1+rng.Intn(20), 1+rng.Intn(20), 1+rng.Intn(20)
+		a, da := randomMatrix(rng, n1, n2, 0.15)
+		b, db := randomMatrix(rng, n2, n3, 0.15)
+		got := Mul(a, b)
+		mustValidate(t, got)
+		sparseEqualDense(t, got, da.mul(db))
+	}
+}
+
+func TestMulParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a, _ := randomMatrix(rng, 120, 90, 0.05)
+	b, _ := randomMatrix(rng, 90, 150, 0.05)
+	want := Mul(a, b)
+	for _, w := range []int{1, 2, 3, 8} {
+		got := MulPar(a, b, w)
+		mustValidate(t, got)
+		if !got.Equal(want) {
+			t.Fatalf("MulPar(workers=%d) differs from Mul", w)
+		}
+	}
+}
+
+func TestMulEmptyOperands(t *testing.T) {
+	a := NewBool(3, 4)
+	b := NewBool(4, 5)
+	if got := Mul(a, b); got.NVals() != 0 {
+		t.Fatal("product of empty matrices must be empty")
+	}
+	a.Set(0, 0)
+	if got := Mul(a, b); got.NVals() != 0 {
+		t.Fatal("product with empty right operand must be empty")
+	}
+}
+
+func TestAddAndSub(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 30; trial++ {
+		a, da := randomMatrix(rng, 12, 9, 0.3)
+		b, db := randomMatrix(rng, 12, 9, 0.3)
+		sum := Add(a, b)
+		mustValidate(t, sum)
+		diff := Sub(a, b)
+		mustValidate(t, diff)
+		inter := Intersect(a, b)
+		mustValidate(t, inter)
+		for i := 0; i < 12; i++ {
+			for j := 0; j < 9; j++ {
+				if sum.Get(i, j) != (da.get(i, j) || db.get(i, j)) {
+					t.Fatalf("Add mismatch at (%d,%d)", i, j)
+				}
+				if diff.Get(i, j) != (da.get(i, j) && !db.get(i, j)) {
+					t.Fatalf("Sub mismatch at (%d,%d)", i, j)
+				}
+				if inter.Get(i, j) != (da.get(i, j) && db.get(i, j)) {
+					t.Fatalf("Intersect mismatch at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestAddInPlaceChangeDetection(t *testing.T) {
+	a := NewBoolFromPairs(2, 2, [][2]int{{0, 0}, {1, 1}})
+	sub := NewBoolFromPairs(2, 2, [][2]int{{0, 0}})
+	if AddInPlace(a, sub) {
+		t.Fatal("adding a subset must report no change")
+	}
+	more := NewBoolFromPairs(2, 2, [][2]int{{0, 1}})
+	if !AddInPlace(a, more) {
+		t.Fatal("adding a new entry must report change")
+	}
+	if !a.Get(0, 1) || a.NVals() != 3 {
+		t.Fatal("AddInPlace result wrong")
+	}
+	mustValidate(t, a)
+}
+
+func TestSubInPlaceChangeDetection(t *testing.T) {
+	a := NewBoolFromPairs(2, 2, [][2]int{{0, 0}, {0, 1}})
+	if SubInPlace(a, NewBool(2, 2)) {
+		t.Fatal("subtracting empty must report no change")
+	}
+	b := NewBoolFromPairs(2, 2, [][2]int{{0, 1}, {1, 1}})
+	if !SubInPlace(a, b) {
+		t.Fatal("removing an entry must report change")
+	}
+	if a.Get(0, 1) || !a.Get(0, 0) || a.NVals() != 1 {
+		t.Fatal("SubInPlace result wrong")
+	}
+	mustValidate(t, a)
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	a, da := randomMatrix(rng, 8, 14, 0.25)
+	at := Transpose(a)
+	mustValidate(t, at)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 14; j++ {
+			if at.Get(j, i) != da.get(i, j) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	if !Transpose(at).Equal(a) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+// Property: (A*B)^T == B^T * A^T.
+func TestTransposeOfProductProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 25; trial++ {
+		a, _ := randomMatrix(rng, 1+rng.Intn(15), 1+rng.Intn(15), 0.2)
+		b, _ := randomMatrix(rng, a.NCols(), 1+rng.Intn(15), 0.2)
+		lhs := Transpose(Mul(a, b))
+		rhs := Mul(Transpose(b), Transpose(a))
+		if !lhs.Equal(rhs) {
+			t.Fatalf("trial %d: (AB)^T != B^T A^T", trial)
+		}
+	}
+}
+
+// Property: matrix multiplication is associative.
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 25; trial++ {
+		a, _ := randomMatrix(rng, 1+rng.Intn(12), 1+rng.Intn(12), 0.25)
+		b, _ := randomMatrix(rng, a.NCols(), 1+rng.Intn(12), 0.25)
+		c, _ := randomMatrix(rng, b.NCols(), 1+rng.Intn(12), 0.25)
+		if !Mul(Mul(a, b), c).Equal(Mul(a, Mul(b, c))) {
+			t.Fatalf("trial %d: (AB)C != A(BC)", trial)
+		}
+	}
+}
+
+// Property: addition is idempotent, commutative and associative.
+func TestAddAlgebraProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	for trial := 0; trial < 25; trial++ {
+		a, _ := randomMatrix(rng, 10, 10, 0.3)
+		b, _ := randomMatrix(rng, 10, 10, 0.3)
+		c, _ := randomMatrix(rng, 10, 10, 0.3)
+		if !Add(a, a).Equal(a) {
+			t.Fatal("A+A != A")
+		}
+		if !Add(a, b).Equal(Add(b, a)) {
+			t.Fatal("A+B != B+A")
+		}
+		if !Add(Add(a, b), c).Equal(Add(a, Add(b, c))) {
+			t.Fatal("(A+B)+C != A+(B+C)")
+		}
+	}
+}
+
+// Property: multiplication distributes over addition.
+func TestMulDistributesOverAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	for trial := 0; trial < 25; trial++ {
+		a, _ := randomMatrix(rng, 9, 7, 0.25)
+		b, _ := randomMatrix(rng, 7, 11, 0.25)
+		c, _ := randomMatrix(rng, 7, 11, 0.25)
+		lhs := Mul(a, Add(b, c))
+		rhs := Add(Mul(a, b), Mul(a, c))
+		if !lhs.Equal(rhs) {
+			t.Fatalf("trial %d: A(B+C) != AB+AC", trial)
+		}
+	}
+}
+
+func TestKron(t *testing.T) {
+	a := NewBoolFromPairs(2, 2, [][2]int{{0, 1}, {1, 0}})
+	b := NewBoolFromPairs(2, 3, [][2]int{{0, 0}, {1, 2}})
+	k := Kron(a, b)
+	mustValidate(t, k)
+	if k.NRows() != 4 || k.NCols() != 6 {
+		t.Fatalf("Kron shape %dx%d", k.NRows(), k.NCols())
+	}
+	if k.NVals() != a.NVals()*b.NVals() {
+		t.Fatalf("Kron nvals %d, want %d", k.NVals(), a.NVals()*b.NVals())
+	}
+	// Spot-check block structure: a[0,1] places b at rows 0..1, cols 3..5.
+	if !k.Get(0, 3) || !k.Get(1, 5) || k.Get(0, 0) {
+		t.Fatal("Kron block placement wrong")
+	}
+}
+
+func TestKronAgainstDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	a, da := randomMatrix(rng, 4, 5, 0.3)
+	b, db := randomMatrix(rng, 3, 2, 0.4)
+	k := Kron(a, b)
+	for i1 := 0; i1 < 4; i1++ {
+		for j1 := 0; j1 < 5; j1++ {
+			for i2 := 0; i2 < 3; i2++ {
+				for j2 := 0; j2 < 2; j2++ {
+					want := da.get(i1, j1) && db.get(i2, j2)
+					if k.Get(i1*3+i2, j1*2+j2) != want {
+						t.Fatalf("Kron mismatch at (%d,%d)x(%d,%d)", i1, j1, i2, j2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	// Chain 0 -> 1 -> 2 -> 3.
+	m := NewBoolFromPairs(4, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	tc := TransitiveClosure(m)
+	want := NewBoolFromPairs(4, 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if !tc.Equal(want) {
+		t.Fatalf("closure:\n%v\nwant:\n%v", tc, want)
+	}
+	// Cycle 0 -> 1 -> 0 closes to all four pairs.
+	cyc := TransitiveClosure(NewBoolFromPairs(2, 2, [][2]int{{0, 1}, {1, 0}}))
+	if cyc.NVals() != 4 {
+		t.Fatalf("cycle closure nvals = %d, want 4", cyc.NVals())
+	}
+}
+
+func TestExtractRows(t *testing.T) {
+	m := NewBoolFromPairs(4, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	set := NewVectorFromIndices(4, []int{1, 3})
+	got := ExtractRows(m, set)
+	mustValidate(t, got)
+	if got.NVals() != 2 || !got.Get(1, 2) || !got.Get(3, 0) || got.Get(0, 1) {
+		t.Fatalf("ExtractRows wrong: %v", got)
+	}
+}
+
+func TestMulWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		a, _ := randomMatrix(rng, 10, 8, 0.2)
+		b, _ := randomMatrix(rng, 8, 12, 0.2)
+		prod, wit := MulWitness(a, b)
+		if !prod.Equal(Mul(a, b)) {
+			t.Fatal("MulWitness product differs from Mul")
+		}
+		if len(wit) != prod.NVals() {
+			t.Fatalf("witness count %d != nvals %d", len(wit), prod.NVals())
+		}
+		for key, k := range wit {
+			i, j := UnKey(key)
+			if !a.Get(i, int(k)) || !b.Get(int(k), j) {
+				t.Fatalf("witness (%d,%d) via %d is not a valid decomposition", i, j, k)
+			}
+		}
+	}
+}
+
+func TestAccumulatorEpochWrap(t *testing.T) {
+	acc := newAccumulator(128)
+	acc.epoch = ^uint32(0) - 1 // two resets away from wrap
+	for round := 0; round < 4; round++ {
+		acc.reset()
+		acc.orRow([]uint32{1, 64, 127})
+		got := acc.extract(nil)
+		if len(got) != 3 || got[0] != 1 || got[1] != 64 || got[2] != 127 {
+			t.Fatalf("round %d: extract = %v", round, got)
+		}
+	}
+}

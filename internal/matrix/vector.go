@@ -1,0 +1,211 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vector is a sparse Boolean vector: a sorted, duplicate-free set of
+// indices drawn from [0, n). It represents vertex sets throughout the
+// CFPQ algorithms (source sets, getDst results, matrix diagonals).
+type Vector struct {
+	n   int
+	idx []uint32
+}
+
+// NewVector returns an empty vector of size n.
+func NewVector(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("matrix: negative vector size %d", n))
+	}
+	return &Vector{n: n}
+}
+
+// NewVectorFromIndices builds a vector of size n from the given indices,
+// which may be unsorted and may repeat.
+func NewVectorFromIndices(n int, indices []int) *Vector {
+	v := NewVector(n)
+	for _, i := range indices {
+		v.Set(i)
+	}
+	return v
+}
+
+// Size returns the dimension of the vector.
+func (v *Vector) Size() int { return v.n }
+
+// NVals returns the number of set indices.
+func (v *Vector) NVals() int { return len(v.idx) }
+
+// Empty reports whether no index is set.
+func (v *Vector) Empty() bool { return len(v.idx) == 0 }
+
+// Set marks index i.
+func (v *Vector) Set(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("matrix: vector index %d out of range %d", i, v.n))
+	}
+	c := uint32(i)
+	k := sort.Search(len(v.idx), func(x int) bool { return v.idx[x] >= c })
+	if k < len(v.idx) && v.idx[k] == c {
+		return
+	}
+	v.idx = append(v.idx, 0)
+	copy(v.idx[k+1:], v.idx[k:])
+	v.idx[k] = c
+}
+
+// Get reports whether index i is set.
+func (v *Vector) Get(i int) bool {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("matrix: vector index %d out of range %d", i, v.n))
+	}
+	c := uint32(i)
+	k := sort.Search(len(v.idx), func(x int) bool { return v.idx[x] >= c })
+	return k < len(v.idx) && v.idx[k] == c
+}
+
+// Indices returns the sorted set indices. The slice is owned by the
+// vector and must not be modified.
+func (v *Vector) Indices() []uint32 { return v.idx }
+
+// Ints returns the set indices as a fresh []int.
+func (v *Vector) Ints() []int {
+	out := make([]int, len(v.idx))
+	for k, c := range v.idx {
+		out[k] = int(c)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	return &Vector{n: v.n, idx: append([]uint32(nil), v.idx...)}
+}
+
+// Equal reports whether the vectors have identical size and indices.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n || len(v.idx) != len(o.idx) {
+		return false
+	}
+	for k := range v.idx {
+		if v.idx[k] != o.idx[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionInPlace ORs o into v and reports whether v changed.
+func (v *Vector) UnionInPlace(o *Vector) bool {
+	if v.n != o.n {
+		panic(fmt.Sprintf("matrix: vector union size mismatch %d vs %d", v.n, o.n))
+	}
+	if len(o.idx) == 0 {
+		return false
+	}
+	if containsAll(v.idx, o.idx) {
+		return false
+	}
+	v.idx = unionRows(v.idx, o.idx)
+	return true
+}
+
+// DiffInPlace removes o's indices from v and reports whether v changed.
+func (v *Vector) DiffInPlace(o *Vector) bool {
+	if v.n != o.n {
+		panic(fmt.Sprintf("matrix: vector diff size mismatch %d vs %d", v.n, o.n))
+	}
+	before := len(v.idx)
+	v.idx = diffRows(v.idx, o.idx)
+	return len(v.idx) != before
+}
+
+// Diag returns the n x n matrix with v's indices on the diagonal; this is
+// the matrix form of a source-vertex set used by the CFPQ algorithms.
+func (v *Vector) Diag() *Bool {
+	m := NewBool(v.n, v.n)
+	for _, c := range v.idx {
+		m.rows[c] = []uint32{c}
+	}
+	m.nvals = len(v.idx)
+	return m
+}
+
+// DiagVector extracts the diagonal of a square matrix as a vector.
+func DiagVector(m *Bool) *Vector {
+	if m.nrows != m.ncols {
+		panic(fmt.Sprintf("matrix: DiagVector of non-square %dx%d", m.nrows, m.ncols))
+	}
+	v := NewVector(m.nrows)
+	for i, row := range m.rows {
+		c := uint32(i)
+		k := sort.Search(len(row), func(x int) bool { return row[x] >= c })
+		if k < len(row) && row[k] == c {
+			v.idx = append(v.idx, c)
+		}
+	}
+	return v
+}
+
+// ReduceCols collapses m to the vector of columns that contain at least
+// one true entry. This is the linear-algebra form of the paper's getDst:
+// the destination vertices of all pairs represented by m (implemented via
+// reduce_vector in the paper's pygraphblas version).
+func ReduceCols(m *Bool) *Vector {
+	v := NewVector(m.ncols)
+	if m.nvals == 0 {
+		return v
+	}
+	acc := newAccumulator(m.ncols)
+	acc.reset()
+	for _, row := range m.rows {
+		acc.orRow(row)
+	}
+	v.idx = acc.extract(make([]uint32, 0, acc.count()))
+	return v
+}
+
+// ReduceRows collapses m to the vector of rows that contain at least one
+// true entry.
+func ReduceRows(m *Bool) *Vector {
+	v := NewVector(m.nrows)
+	for i, row := range m.rows {
+		if len(row) > 0 {
+			v.idx = append(v.idx, uint32(i))
+		}
+	}
+	return v
+}
+
+// GetDst returns getDst(m) from the paper (Algorithm 2, lines 17-21): the
+// diagonal matrix marking every destination vertex of m.
+func GetDst(m *Bool) *Bool {
+	if m.nrows != m.ncols {
+		panic(fmt.Sprintf("matrix: GetDst of non-square %dx%d", m.nrows, m.ncols))
+	}
+	return ReduceCols(m).Diag()
+}
+
+// VecMul returns the vector-matrix product v * m: the set of columns of m
+// reachable from rows in v.
+func VecMul(v *Vector, m *Bool) *Vector {
+	if v.n != m.nrows {
+		panic(fmt.Sprintf("matrix: VecMul size mismatch %d vs %dx%d", v.n, m.nrows, m.ncols))
+	}
+	out := NewVector(m.ncols)
+	if len(v.idx) == 0 || m.nvals == 0 {
+		return out
+	}
+	acc := newAccumulator(m.ncols)
+	acc.reset()
+	for _, i := range v.idx {
+		acc.orRow(m.rows[i])
+	}
+	out.idx = acc.extract(make([]uint32, 0, acc.count()))
+	return out
+}
+
+func (v *Vector) String() string {
+	return fmt.Sprintf("Vector{n=%d, set=%v}", v.n, v.Ints())
+}

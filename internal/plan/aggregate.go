@@ -1,0 +1,227 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OutCol describes one output column of a projection or aggregation.
+type OutCol struct {
+	Name  string
+	Slot  int  // record slot; -1 for count(*)
+	Count bool // column is a count aggregate
+}
+
+// Aggregate implements RETURN with count aggregates: non-count columns
+// are grouping keys, count columns report the group sizes. Groups are
+// emitted in first-seen order.
+type Aggregate struct {
+	child Operation
+	cols  []OutCol
+
+	out []Record
+	pos int
+}
+
+// NewAggregate builds the aggregation operation.
+func NewAggregate(child Operation, cols []OutCol) *Aggregate {
+	return &Aggregate{child: child, cols: cols}
+}
+
+func (a *Aggregate) Open() error {
+	a.out, a.pos = nil, 0
+	return a.child.Open()
+}
+
+func (a *Aggregate) Next() (Record, error) {
+	if a.out == nil {
+		if err := a.drain(); err != nil {
+			return nil, err
+		}
+	}
+	if a.pos >= len(a.out) {
+		return nil, nil
+	}
+	rec := a.out[a.pos]
+	a.pos++
+	return rec, nil
+}
+
+func (a *Aggregate) drain() error {
+	groups := map[string]int{} // key -> index in a.out
+	counts := []int64{}
+	for {
+		rec, err := a.child.Next()
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			break
+		}
+		var key strings.Builder
+		for _, c := range a.cols {
+			if !c.Count {
+				fmt.Fprintf(&key, "%d|", rec[c.Slot])
+			}
+		}
+		idx, ok := groups[key.String()]
+		if !ok {
+			idx = len(a.out)
+			groups[key.String()] = idx
+			row := make(Record, len(a.cols))
+			for i, c := range a.cols {
+				if c.Count {
+					row[i] = 0
+				} else {
+					row[i] = rec[c.Slot]
+				}
+			}
+			a.out = append(a.out, row)
+			counts = append(counts, 0)
+		}
+		counts[idx]++
+	}
+	for idx, row := range a.out {
+		for i, c := range a.cols {
+			if c.Count {
+				row[i] = counts[idx]
+			}
+		}
+	}
+	if a.out == nil {
+		a.out = []Record{} // distinguish "drained, empty" from "not drained"
+	}
+	return nil
+}
+
+func (a *Aggregate) Explain() string {
+	names := make([]string, len(a.cols))
+	for i, c := range a.cols {
+		names[i] = c.Name
+	}
+	return "Aggregate(" + strings.Join(names, ", ") + ")"
+}
+
+func (a *Aggregate) Child() Operation     { return a.child }
+func (a *Aggregate) setChild(c Operation) { a.child = c }
+
+// Sort orders the (already projected) records by output columns.
+type Sort struct {
+	child Operation
+	keys  []sortKey
+
+	out []Record
+	pos int
+}
+
+type sortKey struct {
+	col  int
+	desc bool
+}
+
+// NewSort builds the sort operation over output column indices.
+func NewSort(child Operation, keys []sortKey) *Sort {
+	return &Sort{child: child, keys: keys}
+}
+
+func (s *Sort) Open() error {
+	s.out, s.pos = nil, 0
+	return s.child.Open()
+}
+
+func (s *Sort) Next() (Record, error) {
+	if s.out == nil {
+		for {
+			rec, err := s.child.Next()
+			if err != nil {
+				return nil, err
+			}
+			if rec == nil {
+				break
+			}
+			s.out = append(s.out, rec)
+		}
+		sort.SliceStable(s.out, func(i, j int) bool {
+			for _, k := range s.keys {
+				a, b := s.out[i][k.col], s.out[j][k.col]
+				if a == b {
+					continue
+				}
+				if k.desc {
+					return a > b
+				}
+				return a < b
+			}
+			return false
+		})
+		if s.out == nil {
+			s.out = []Record{}
+		}
+	}
+	if s.pos >= len(s.out) {
+		return nil, nil
+	}
+	rec := s.out[s.pos]
+	s.pos++
+	return rec, nil
+}
+
+func (s *Sort) Explain() string {
+	parts := make([]string, len(s.keys))
+	for i, k := range s.keys {
+		dir := "asc"
+		if k.desc {
+			dir = "desc"
+		}
+		parts[i] = fmt.Sprintf("col%d %s", k.col, dir)
+	}
+	return "Sort(" + strings.Join(parts, ", ") + ")"
+}
+
+func (s *Sort) Child() Operation     { return s.child }
+func (s *Sort) setChild(c Operation) { s.child = c }
+
+// Paginate applies SKIP and LIMIT after projection (and sorting).
+type Paginate struct {
+	child   Operation
+	skip    int
+	limit   int // 0 = unlimited
+	skipped int
+	emitted int
+}
+
+// NewPaginate builds the pagination operation.
+func NewPaginate(child Operation, skip, limit int) *Paginate {
+	return &Paginate{child: child, skip: skip, limit: limit}
+}
+
+func (p *Paginate) Open() error {
+	p.skipped, p.emitted = 0, 0
+	return p.child.Open()
+}
+
+func (p *Paginate) Next() (Record, error) {
+	for {
+		if p.limit > 0 && p.emitted >= p.limit {
+			return nil, nil
+		}
+		rec, err := p.child.Next()
+		if err != nil || rec == nil {
+			return nil, err
+		}
+		if p.skipped < p.skip {
+			p.skipped++
+			continue
+		}
+		p.emitted++
+		return rec, nil
+	}
+}
+
+func (p *Paginate) Explain() string {
+	return fmt.Sprintf("Paginate(skip=%d, limit=%d)", p.skip, p.limit)
+}
+
+func (p *Paginate) Child() Operation     { return p.child }
+func (p *Paginate) setChild(c Operation) { p.child = c }

@@ -1,0 +1,375 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"mscfpq/internal/algebra"
+	"mscfpq/internal/cypher"
+)
+
+// Plan is a compiled, executable query plan.
+type Plan struct {
+	root    Operation
+	Columns []string
+	ctx     *PathCtx
+	slots   map[string]int
+}
+
+// ResultSet holds the rows produced by plan execution. Values are
+// vertex ids.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]int64
+}
+
+// Build compiles a parsed MATCH query against an environment. CREATE
+// statements are handled by the storage layer, not the planner.
+func Build(q *cypher.Query, env *Env) (*Plan, error) {
+	ctx, err := NewPathCtx(env.G, q.PathPatterns)
+	if err != nil {
+		return nil, err
+	}
+	return BuildWithCtx(q, env, ctx)
+}
+
+// BuildWithCtx compiles the query against a pre-built path pattern
+// context, letting the database layer share one context — and therefore
+// one Algorithm 3 index — across queries that declare the same PATH
+// PATTERNs over the same graph (the paper's repeated-query scenario).
+// The caller must guarantee ctx matches q's PATH PATTERN declarations
+// and env's graph (see PathCtx.Key).
+func BuildWithCtx(q *cypher.Query, env *Env, ctx *PathCtx) (*Plan, error) {
+	if q.Match == nil {
+		return nil, fmt.Errorf("plan: query has no MATCH clause")
+	}
+	if q.Return == nil {
+		return nil, fmt.Errorf("plan: query has no RETURN clause")
+	}
+	env.Ctx = ctx
+
+	// Stage 1 (paper Figure 9): fold the MATCH patterns into the query
+	// graph, merging shared variables and their constraints.
+	qg, err := BuildQueryGraph(q.Match)
+	if err != nil {
+		return nil, err
+	}
+	// One record slot per query-graph node.
+	slots := map[string]int{}
+	for i, n := range qg.Nodes {
+		slots[n.Name] = i
+	}
+	width := len(qg.Nodes)
+
+	// Pending WHERE predicates, placed as soon as their variables bind.
+	pending, err := splitConjunction(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	bound := map[int]bool{}
+	var root Operation
+	attachFilters := func() {
+		for i := 0; i < len(pending); {
+			vars, perr := predVars(pending[i])
+			if perr != nil {
+				i++
+				continue
+			}
+			ready := true
+			for _, v := range vars {
+				s, ok := slots[v]
+				if !ok || !bound[s] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				root = NewFilter(env, root, pending[i], slots)
+				pending = append(pending[:i], pending[i+1:]...)
+			} else {
+				i++
+			}
+		}
+	}
+	// bindNode scans (or re-checks) a query-graph node: the first label
+	// drives the scan, extra merged labels and property constraints
+	// become filters.
+	bindNode := func(idx int) {
+		n := qg.Nodes[idx]
+		label := ""
+		if len(n.Labels) > 0 {
+			label = n.Labels[0]
+		}
+		root = NewNodeScan(env, root, width, idx, label)
+		bound[idx] = true
+		for _, l := range n.Labels[min(1, len(n.Labels)):] {
+			root = NewFilter(env, root, cypher.HasLabel{Var: n.Name, Label: l}, slots)
+		}
+		for _, p := range n.Props {
+			root = NewFilter(env, root, cypher.PropCompare{Var: n.Name, Key: p.Key, Val: p.Val}, slots)
+		}
+		attachFilters()
+	}
+
+	// selectivityScore ranks how tightly a node is constrained, for
+	// choosing which end of a chain to scan from: an exact id beats an
+	// id list beats labels/properties beats nothing; already-bound
+	// nodes win outright (their records are already restricted).
+	selectivityScore := func(idx int) int {
+		if bound[idx] {
+			return 100
+		}
+		n := qg.Nodes[idx]
+		score := 0
+		if len(n.Labels) > 0 || len(n.Props) > 0 {
+			score = 1
+		}
+		for _, pred := range pending {
+			vars, err := predVars(pred)
+			if err != nil || len(vars) != 1 {
+				continue
+			}
+			if s, ok := slots[vars[0]]; !ok || s != idx {
+				continue
+			}
+			switch pred.(type) {
+			case cypher.IDCompare:
+				if score < 3 {
+					score = 3
+				}
+			case cypher.IDIn:
+				if score < 2 {
+					score = 2
+				}
+			default:
+				if score < 1 {
+					score = 1
+				}
+			}
+		}
+		return score
+	}
+
+	// Stage 2: linearize the query graph into chains and translate each
+	// chain edge into an algebraic expression driving a traverse.
+	covered := map[int]bool{}
+	for _, chain := range qg.Chains() {
+		// Orient the chain so the scan starts at the more selective
+		// end: a filter on the destination would otherwise force a full
+		// scan of the sources (the multiple-source pattern in reverse).
+		if selectivityScore(chain[len(chain)-1].To) > selectivityScore(chain[0].From) {
+			chain = reverseChain(chain)
+		}
+		bindNode(chain[0].From)
+		covered[chain[0].From] = true
+		for _, e := range chain {
+			expr, isPath, err := TranslateConnection(e.Conn)
+			if err != nil {
+				return nil, err
+			}
+			for _, ref := range algebra.Refs(expr) {
+				if _, ok := ctx.Expr(ref); !ok {
+					return nil, fmt.Errorf("plan: reference to undeclared path pattern %q", ref)
+				}
+			}
+			// Fold destination node labels into the expression so the
+			// traverse lands only on correctly labeled vertices.
+			dst := qg.Nodes[e.To]
+			for _, l := range dst.Labels {
+				expr = mulVertexLabel(expr, l)
+			}
+			if isPath {
+				root = NewCFPQTraverse(env, root, e.From, e.To, expr)
+			} else {
+				root = NewCondTraverse(env, root, e.From, e.To, expr)
+			}
+			bound[e.To] = true
+			covered[e.To] = true
+			for _, p := range dst.Props {
+				root = NewFilter(env, root, cypher.PropCompare{Var: dst.Name, Key: p.Key, Val: p.Val}, slots)
+			}
+			attachFilters()
+		}
+	}
+	// Standalone nodes (MATCH (v) RETURN v) still need a scan.
+	for idx := range qg.Nodes {
+		if !covered[idx] && !bound[idx] {
+			bindNode(idx)
+		}
+	}
+	if len(pending) > 0 {
+		attachFilters()
+		if len(pending) > 0 {
+			return nil, fmt.Errorf("plan: WHERE references unbound variables: %s", predString(pending[0]))
+		}
+	}
+
+	// Projection / aggregation, then ordering and pagination.
+	var cols []OutCol
+	hasCount := false
+	for _, item := range q.Return.Items {
+		col := OutCol{Count: item.Count, Slot: -1}
+		switch {
+		case item.Count && item.Var == "*":
+			col.Name = "count(*)"
+		case item.Count:
+			s, ok := slots[item.Var]
+			if !ok {
+				return nil, fmt.Errorf("plan: RETURN references unknown variable %q", item.Var)
+			}
+			col.Slot = s
+			col.Name = "count(" + item.Var + ")"
+		default:
+			s, ok := slots[item.Var]
+			if !ok {
+				return nil, fmt.Errorf("plan: RETURN references unknown variable %q", item.Var)
+			}
+			col.Slot = s
+			col.Name = item.Var
+		}
+		if item.Alias != "" {
+			col.Name = item.Alias
+		}
+		hasCount = hasCount || item.Count
+		cols = append(cols, col)
+	}
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	if hasCount {
+		root = NewAggregate(root, cols)
+	} else {
+		projSlots := make([]int, len(cols))
+		for i, c := range cols {
+			projSlots[i] = c.Slot
+		}
+		root = NewProject(root, names, projSlots)
+	}
+	if len(q.Return.OrderBy) > 0 {
+		var keys []sortKey
+		for _, ob := range q.Return.OrderBy {
+			idx := -1
+			for i, n := range names {
+				if n == ob.Name {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("plan: ORDER BY %q is not a returned column", ob.Name)
+			}
+			keys = append(keys, sortKey{col: idx, desc: ob.Desc})
+		}
+		root = NewSort(root, keys)
+	}
+	if q.Return.Skip > 0 || q.Return.Limit > 0 {
+		root = NewPaginate(root, q.Return.Skip, q.Return.Limit)
+	}
+
+	return &Plan{root: root, Columns: names, ctx: ctx, slots: slots}, nil
+}
+
+func mulVertexLabel(e algebra.Expr, label string) algebra.Expr {
+	return algebra.Mul{L: e, R: algebra.VertexLabel{Label: label}}
+}
+
+// reverseChain flips a traversal chain end to end: edges run in
+// opposite order with swapped endpoints and inverted connections, so
+// the matched relation is identical.
+func reverseChain(chain []QGEdge) []QGEdge {
+	out := make([]QGEdge, 0, len(chain))
+	for i := len(chain) - 1; i >= 0; i-- {
+		e := chain[i]
+		var conn cypher.Connection
+		switch c := e.Conn.(type) {
+		case cypher.RelPattern:
+			c.Inverse = !c.Inverse
+			conn = c
+		case cypher.PathApply:
+			c.Inverse = !c.Inverse
+			conn = c
+		default:
+			return chain // unknown connection: keep original orientation
+		}
+		out = append(out, QGEdge{From: e.To, To: e.From, Conn: conn})
+	}
+	return out
+}
+
+// Execute runs the plan to completion.
+func (p *Plan) Execute() (*ResultSet, error) {
+	if err := p.root.Open(); err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{Columns: p.Columns}
+	for {
+		rec, err := p.root.Next()
+		if err != nil {
+			return nil, err
+		}
+		if rec == nil {
+			return rs, nil
+		}
+		rs.Rows = append(rs.Rows, []int64(rec))
+	}
+}
+
+// Explain renders the operation tree, root first.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	depth := 0
+	for op := p.root; op != nil; op = op.Child() {
+		b.WriteString(strings.Repeat("    ", depth))
+		b.WriteString(op.Explain())
+		b.WriteByte('\n')
+		depth++
+	}
+	if p.ctx != nil && len(p.ctx.Names()) > 0 {
+		b.WriteString("Path pattern context:\n")
+		for _, name := range p.ctx.Names() {
+			e, _ := p.ctx.Expr(name)
+			fmt.Fprintf(&b, "    %s -> %s\n", name, e.String())
+		}
+	}
+	return b.String()
+}
+
+// splitConjunction flattens an AND tree into a predicate list.
+func splitConjunction(e cypher.Expr) ([]cypher.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	if and, ok := e.(cypher.AndExpr); ok {
+		l, err := splitConjunction(and.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := splitConjunction(and.Right)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	}
+	return []cypher.Expr{e}, nil
+}
+
+// predVars lists the variables a predicate reads.
+func predVars(e cypher.Expr) ([]string, error) {
+	switch v := e.(type) {
+	case cypher.IDCompare:
+		return []string{v.Var}, nil
+	case cypher.IDIn:
+		return []string{v.Var}, nil
+	case cypher.HasLabel:
+		return []string{v.Var}, nil
+	case cypher.PropCompare:
+		return []string{v.Var}, nil
+	case cypher.AndExpr:
+		l, _ := predVars(v.Left)
+		r, _ := predVars(v.Right)
+		return append(l, r...), nil
+	default:
+		return nil, fmt.Errorf("plan: unsupported predicate %T", e)
+	}
+}

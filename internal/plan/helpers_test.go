@@ -1,0 +1,19 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"mscfpq/internal/cypher"
+)
+
+func mustParseQuery(t *testing.T, src string) *cypher.Query {
+	t.Helper()
+	q, err := cypher.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+func contains(haystack, needle string) bool { return strings.Contains(haystack, needle) }

@@ -1,0 +1,461 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"mscfpq/internal/algebra"
+	"mscfpq/internal/cypher"
+	"mscfpq/internal/matrix"
+)
+
+// Record binds pattern variables (by slot) to vertex ids; -1 = unbound.
+type Record []int64
+
+func (r Record) clone() Record { return append(Record(nil), r...) }
+
+// Operation is one node of the execution plan tree. Operations pull
+// records from their child (paper Figure 13), process them and produce
+// records for their parent.
+type Operation interface {
+	// Open prepares the operation (and its subtree) for execution.
+	Open() error
+	// Next returns the next record, or nil when exhausted.
+	Next() (Record, error)
+	// Explain renders the operation for plan display.
+	Explain() string
+	// Child returns the input operation, or nil.
+	Child() Operation
+}
+
+// ---------------------------------------------------------------------
+// NodeScan: AllNodeScan / LabelScan (paper Figure 13).
+
+// NodeScan binds a variable to every vertex (optionally restricted to a
+// label). With a child, it extends or filters the child's records; at
+// the leaf it generates records from the graph.
+type NodeScan struct {
+	env    *Env
+	slots  int
+	slot   int
+	label  string // "" = all vertices
+	child  Operation
+	cur    Record
+	verts  []int
+	pos    int
+	opened bool
+}
+
+// NewNodeScan builds a scan binding slot; slots is the record width.
+func NewNodeScan(env *Env, child Operation, slots, slot int, label string) *NodeScan {
+	return &NodeScan{env: env, child: child, slots: slots, slot: slot, label: label}
+}
+
+func (s *NodeScan) Open() error {
+	if s.child != nil {
+		if err := s.child.Open(); err != nil {
+			return err
+		}
+	}
+	if s.label == "" {
+		n := s.env.G.NumVertices()
+		s.verts = make([]int, n)
+		for i := range s.verts {
+			s.verts[i] = i
+		}
+	} else {
+		s.verts = s.env.G.VertexSet(s.label).Ints()
+	}
+	s.cur = nil
+	s.pos = 0
+	s.opened = true
+	return nil
+}
+
+func (s *NodeScan) Next() (Record, error) {
+	if !s.opened {
+		return nil, fmt.Errorf("plan: NodeScan not opened")
+	}
+	for {
+		if s.cur == nil {
+			if s.child == nil {
+				if s.pos == -1 {
+					return nil, nil
+				}
+				// Leaf: one synthetic empty record drives the vertex loop.
+				s.cur = make(Record, s.slots)
+				for i := range s.cur {
+					s.cur[i] = -1
+				}
+				s.pos = 0
+				continue
+			}
+			rec, err := s.child.Next()
+			if err != nil || rec == nil {
+				return nil, err
+			}
+			s.cur = rec
+			s.pos = 0
+		}
+		if bound := s.cur[s.slot]; bound >= 0 {
+			// Variable already bound: act as a label filter.
+			rec := s.cur
+			s.cur = nil
+			if s.child == nil {
+				s.pos = -1
+			}
+			if s.label == "" || s.env.G.HasVertexLabel(int(bound), s.label) {
+				return rec, nil
+			}
+			continue
+		}
+		if s.pos >= len(s.verts) {
+			s.cur = nil
+			if s.child == nil {
+				s.pos = -1
+			}
+			continue
+		}
+		rec := s.cur.clone()
+		rec[s.slot] = int64(s.verts[s.pos])
+		s.pos++
+		return rec, nil
+	}
+}
+
+func (s *NodeScan) Explain() string {
+	if s.label == "" {
+		return fmt.Sprintf("AllNodeScan(slot=%d)", s.slot)
+	}
+	return fmt.Sprintf("LabelScan(slot=%d, label=%s)", s.slot, s.label)
+}
+
+func (s *NodeScan) Child() Operation { return s.child }
+
+// ---------------------------------------------------------------------
+// Traverse: CondTraverse / CFPQTraverse (paper Figure 12).
+
+// traverseBatchSize bounds the record buffer a traverse accumulates
+// before one algebraic evaluation (the paper's record buffer).
+const traverseBatchSize = 1024
+
+// Traverse consumes records, buffers them, builds the filter matrix of
+// their bound source vertices, evaluates filter * expr (resolving
+// references for CFPQTraverse) and emits one record per resulting pair.
+type Traverse struct {
+	name     string // CondTraverse or CFPQTraverse
+	env      *Env
+	child    Operation
+	fromSlot int
+	toSlot   int
+	expr     algebra.Expr
+	isPath   bool
+
+	buf     []Record
+	rows    *matrix.Bool // evaluation result for the current batch
+	bufIdx  int          // record being expanded
+	rowPos  int          // position within that record's row
+	done    bool
+	covered bool
+}
+
+// NewCondTraverse builds the traverse operation for a relationship
+// pattern.
+func NewCondTraverse(env *Env, child Operation, fromSlot, toSlot int, expr algebra.Expr) *Traverse {
+	return &Traverse{name: "CondTraverse", env: env, child: child,
+		fromSlot: fromSlot, toSlot: toSlot, expr: expr}
+}
+
+// NewCFPQTraverse builds the traverse operation for a path pattern; its
+// expression may reference named path patterns.
+func NewCFPQTraverse(env *Env, child Operation, fromSlot, toSlot int, expr algebra.Expr) *Traverse {
+	return &Traverse{name: "CFPQTraverse", env: env, child: child,
+		fromSlot: fromSlot, toSlot: toSlot, expr: expr, isPath: true}
+}
+
+func (t *Traverse) Open() error {
+	t.buf, t.rows, t.done = nil, nil, false
+	t.bufIdx, t.rowPos = 0, 0
+	t.covered = false
+	return t.child.Open()
+}
+
+func (t *Traverse) Next() (Record, error) {
+	for {
+		// Emit from the current batch.
+		for t.rows != nil && t.bufIdx < len(t.buf) {
+			rec := t.buf[t.bufIdx]
+			src := rec[t.fromSlot]
+			row := t.rows.Row(int(src))
+			if t.rowPos < len(row) {
+				dst := int64(row[t.rowPos])
+				t.rowPos++
+				if bound := rec[t.toSlot]; bound >= 0 {
+					if bound != dst {
+						continue
+					}
+					return rec.clone(), nil
+				}
+				out := rec.clone()
+				out[t.toSlot] = dst
+				return out, nil
+			}
+			t.bufIdx++
+			t.rowPos = 0
+		}
+		if t.done {
+			return nil, nil
+		}
+		if err := t.fillBatch(); err != nil {
+			return nil, err
+		}
+		if len(t.buf) == 0 && t.done {
+			return nil, nil
+		}
+	}
+}
+
+func (t *Traverse) fillBatch() error {
+	t.buf = t.buf[:0]
+	t.bufIdx, t.rowPos = 0, 0
+	t.rows = nil
+	srcs := matrix.NewVector(t.env.G.NumVertices())
+	for len(t.buf) < traverseBatchSize {
+		rec, err := t.child.Next()
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			t.done = true
+			break
+		}
+		src := rec[t.fromSlot]
+		if src < 0 {
+			return fmt.Errorf("plan: %s consumed a record with unbound source slot %d", t.name, t.fromSlot)
+		}
+		srcs.Set(int(src))
+		t.buf = append(t.buf, rec)
+	}
+	if len(t.buf) == 0 {
+		return nil
+	}
+	// Build the filter matrix from the buffered source vertices and
+	// embed it on the left of the algebraic expression (Section 4.3.2).
+	filtered := prependFilter(algebra.Fixed{Name: "Filter", M: srcs.Diag()}, t.expr)
+	var (
+		m   *matrix.Bool
+		err error
+	)
+	if t.isPath && t.env.Ctx != nil {
+		if !t.covered {
+			// References that Algorithm 8 cannot see (e.g. under a
+			// transpose) are solved for all vertices once.
+			t.requestUncovered()
+			t.covered = true
+		}
+		m, err = t.env.Ctx.EvalResolved(filtered, t.env)
+	} else {
+		m, err = algebra.Eval(filtered, t.env)
+	}
+	if err != nil {
+		return err
+	}
+	t.rows = m
+	return nil
+}
+
+// requestUncovered notes full source sets for references the
+// multiplication rule will not reach (anything but a direct right
+// operand of a multiplication).
+func (t *Traverse) requestUncovered() {
+	n := t.env.G.NumVertices()
+	full := matrix.NewVector(n)
+	for i := 0; i < n; i++ {
+		full.Set(i)
+	}
+	var walk func(e algebra.Expr, covered bool)
+	walk = func(e algebra.Expr, covered bool) {
+		switch v := e.(type) {
+		case algebra.Mul:
+			walk(v.L, covered)
+			if _, isRef := v.R.(algebra.Ref); isRef {
+				return // reached by Algorithm 8
+			}
+			walk(v.R, false)
+		case algebra.Add:
+			walk(v.L, covered)
+			walk(v.R, covered)
+		case algebra.Transpose:
+			walk(v.Sub, false)
+		case algebra.Star:
+			walk(v.Sub, false)
+		case algebra.Plus:
+			walk(v.Sub, false)
+		case algebra.Opt:
+			walk(v.Sub, false)
+		case algebra.Ref:
+			t.env.NoteRefSources(v.Name, full)
+		}
+	}
+	// The filter is prepended as the leftmost factor, so top-level
+	// right-of-mul refs are covered; walk the raw expression the same
+	// way prependFilter associates it.
+	walk(prependFilter(algebra.Fixed{Name: "Filter", M: matrix.NewBool(n, n)}, t.expr), false)
+}
+
+// prependFilter multiplies the filter onto the leftmost factor,
+// distributing over alternation so Algorithm 8 sees every reference
+// chain with its proper source set.
+func prependFilter(filter algebra.Expr, e algebra.Expr) algebra.Expr {
+	switch v := e.(type) {
+	case algebra.Mul:
+		return algebra.Mul{L: prependFilter(filter, v.L), R: v.R}
+	case algebra.Add:
+		return algebra.Add{L: prependFilter(filter, v.L), R: prependFilter(filter, v.R)}
+	default:
+		return algebra.Mul{L: filter, R: e}
+	}
+}
+
+func (t *Traverse) Explain() string {
+	return fmt.Sprintf("%s(from=%d, to=%d, expr=%s)", t.name, t.fromSlot, t.toSlot, t.expr.String())
+}
+
+func (t *Traverse) Child() Operation { return t.child }
+
+// ---------------------------------------------------------------------
+// Filter.
+
+// Filter drops records failing a WHERE predicate.
+type Filter struct {
+	env   *Env
+	child Operation
+	pred  cypher.Expr
+	slots map[string]int
+}
+
+// NewFilter builds a filter for one predicate.
+func NewFilter(env *Env, child Operation, pred cypher.Expr, slots map[string]int) *Filter {
+	return &Filter{env: env, child: child, pred: pred, slots: slots}
+}
+
+func (f *Filter) Open() error { return f.child.Open() }
+
+func (f *Filter) Next() (Record, error) {
+	for {
+		rec, err := f.child.Next()
+		if err != nil || rec == nil {
+			return nil, err
+		}
+		ok, err := f.evalPred(f.pred, rec)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return rec, nil
+		}
+	}
+}
+
+func (f *Filter) evalPred(e cypher.Expr, rec Record) (bool, error) {
+	switch v := e.(type) {
+	case cypher.AndExpr:
+		l, err := f.evalPred(v.Left, rec)
+		if err != nil || !l {
+			return false, err
+		}
+		return f.evalPred(v.Right, rec)
+	case cypher.IDCompare:
+		id, err := f.bound(v.Var, rec)
+		if err != nil {
+			return false, err
+		}
+		return id == v.ID, nil
+	case cypher.IDIn:
+		id, err := f.bound(v.Var, rec)
+		if err != nil {
+			return false, err
+		}
+		for _, want := range v.IDs {
+			if id == want {
+				return true, nil
+			}
+		}
+		return false, nil
+	case cypher.HasLabel:
+		id, err := f.bound(v.Var, rec)
+		if err != nil {
+			return false, err
+		}
+		return f.env.G.HasVertexLabel(int(id), v.Label), nil
+	case cypher.PropCompare:
+		id, err := f.bound(v.Var, rec)
+		if err != nil {
+			return false, err
+		}
+		if f.env.Props == nil {
+			return false, fmt.Errorf("plan: property predicates need a property store")
+		}
+		return f.env.Props.PropEquals(int(id), v.Key, v.Val), nil
+	default:
+		return false, fmt.Errorf("plan: unsupported predicate %T", e)
+	}
+}
+
+func (f *Filter) bound(v string, rec Record) (int64, error) {
+	slot, ok := f.slots[v]
+	if !ok {
+		return 0, fmt.Errorf("plan: unknown variable %q in WHERE", v)
+	}
+	id := rec[slot]
+	if id < 0 {
+		return 0, fmt.Errorf("plan: variable %q unbound in WHERE", v)
+	}
+	return id, nil
+}
+
+func (f *Filter) Explain() string  { return "Filter(" + predString(f.pred) + ")" }
+func (f *Filter) Child() Operation { return f.child }
+
+func predString(e cypher.Expr) string {
+	type es interface{ exprString() string }
+	if v, ok := e.(es); ok {
+		return v.exprString()
+	}
+	return fmt.Sprintf("%T", e)
+}
+
+// ---------------------------------------------------------------------
+// Project.
+
+// Project renders output rows from records.
+type Project struct {
+	child   Operation
+	columns []string
+	slots   []int
+}
+
+// NewProject builds the projection.
+func NewProject(child Operation, columns []string, slots []int) *Project {
+	return &Project{child: child, columns: columns, slots: slots}
+}
+
+func (p *Project) Open() error { return p.child.Open() }
+
+func (p *Project) Next() (Record, error) {
+	rec, err := p.child.Next()
+	if err != nil || rec == nil {
+		return nil, err
+	}
+	out := make(Record, len(p.slots))
+	for i, s := range p.slots {
+		out[i] = rec[s]
+	}
+	return out, nil
+}
+
+func (p *Project) Explain() string {
+	return "Project(" + strings.Join(p.columns, ", ") + ")"
+}
+
+func (p *Project) Child() Operation { return p.child }

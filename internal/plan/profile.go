@@ -1,0 +1,108 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ProfileEntry is one operation's measured contribution to a query.
+type ProfileEntry struct {
+	Op        string
+	Records   int
+	Inclusive time.Duration // time spent in this op and its subtree
+	Exclusive time.Duration // Inclusive minus the child's Inclusive
+	Depth     int
+}
+
+// profileOp wraps an operation, counting produced records and the time
+// spent inside its subtree.
+type profileOp struct {
+	inner   Operation
+	records int
+	elapsed time.Duration
+}
+
+func (p *profileOp) Open() error { return p.inner.Open() }
+
+func (p *profileOp) Next() (Record, error) {
+	start := time.Now()
+	rec, err := p.inner.Next()
+	p.elapsed += time.Since(start)
+	if rec != nil {
+		p.records++
+	}
+	return rec, err
+}
+
+func (p *profileOp) Explain() string  { return p.inner.Explain() }
+func (p *profileOp) Child() Operation { return p.inner.Child() }
+
+// childSetter lets the profiler re-link the operation chain.
+type childSetter interface{ setChild(Operation) }
+
+func (s *NodeScan) setChild(op Operation) { s.child = op }
+func (t *Traverse) setChild(op Operation) { t.child = op }
+func (f *Filter) setChild(op Operation)   { f.child = op }
+func (p *Project) setChild(op Operation)  { p.child = op }
+
+// ExecuteProfiled runs the plan with per-operation instrumentation and
+// returns the rows plus one profile entry per operation, root first
+// (the database exposes this as GRAPH.PROFILE). The plan is mutated by
+// the instrumentation and remains instrumented afterwards.
+func (p *Plan) ExecuteProfiled() (*ResultSet, []ProfileEntry, error) {
+	// Collect the (linear) chain root -> leaf.
+	var chain []Operation
+	for op := p.root; op != nil; op = op.Child() {
+		chain = append(chain, op)
+	}
+	// Wrap every operation and re-link parents to the wrappers.
+	wrapped := make([]*profileOp, len(chain))
+	for i, op := range chain {
+		wrapped[i] = &profileOp{inner: op}
+	}
+	for i := 0; i < len(chain)-1; i++ {
+		setter, ok := chain[i].(childSetter)
+		if !ok {
+			return nil, nil, fmt.Errorf("plan: operation %T cannot be profiled", chain[i])
+		}
+		setter.setChild(wrapped[i+1])
+	}
+	p.root = wrapped[0]
+
+	rs, err := p.Execute()
+	if err != nil {
+		return nil, nil, err
+	}
+	entries := make([]ProfileEntry, len(wrapped))
+	for i, w := range wrapped {
+		entries[i] = ProfileEntry{
+			Op:        w.Explain(),
+			Records:   w.records,
+			Inclusive: w.elapsed,
+			Depth:     i,
+		}
+	}
+	for i := range entries {
+		entries[i].Exclusive = entries[i].Inclusive
+		if i+1 < len(entries) {
+			entries[i].Exclusive -= entries[i+1].Inclusive
+			if entries[i].Exclusive < 0 {
+				entries[i].Exclusive = 0
+			}
+		}
+	}
+	return rs, entries, nil
+}
+
+// RenderProfile formats profile entries as the text lines GRAPH.PROFILE
+// returns.
+func RenderProfile(entries []ProfileEntry) []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = fmt.Sprintf("%s%s | Records produced: %d, Execution time: %.6f ms",
+			strings.Repeat("    ", e.Depth), e.Op, e.Records,
+			float64(e.Exclusive.Nanoseconds())/1e6)
+	}
+	return out
+}

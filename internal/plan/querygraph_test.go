@@ -1,0 +1,93 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"mscfpq/internal/cypher"
+)
+
+func TestBuildQueryGraphListing7(t *testing.T) {
+	q, err := cypher.Parse(`
+		PATH PATTERN S = ()-/ [:c ~S :d] | [:c (:y) :d] /->()
+		MATCH (v:x)-[:a]->()-/ :b ~S /->(to)
+		RETURN v, to`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, err := BuildQueryGraph(q.Match)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qg.Nodes) != 3 || len(qg.Edges) != 2 {
+		t.Fatalf("shape: %d nodes %d edges", len(qg.Nodes), len(qg.Edges))
+	}
+	if qg.Nodes[0].Name != "v" || qg.Nodes[0].Labels[0] != "x" {
+		t.Fatalf("node 0 = %+v", qg.Nodes[0])
+	}
+	if _, ok := qg.Edges[0].Conn.(cypher.RelPattern); !ok {
+		t.Fatalf("edge 0 = %T", qg.Edges[0].Conn)
+	}
+	if _, ok := qg.Edges[1].Conn.(cypher.PathApply); !ok {
+		t.Fatalf("edge 1 = %T", qg.Edges[1].Conn)
+	}
+	chains := qg.Chains()
+	if len(chains) != 1 || len(chains[0]) != 2 {
+		t.Fatalf("chains = %v", chains)
+	}
+	if !strings.Contains(qg.String(), "v:x") {
+		t.Fatalf("String = %q", qg.String())
+	}
+}
+
+func TestQueryGraphMergesSharedVars(t *testing.T) {
+	q, err := cypher.Parse(`MATCH (a)-[:x]->(b), (b:L)-[:y]->(c) RETURN a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, err := BuildQueryGraph(q.Match)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qg.Nodes) != 3 {
+		t.Fatalf("nodes = %d (b should merge)", len(qg.Nodes))
+	}
+	// The label constraint from the second occurrence of b is merged.
+	var b QGNode
+	for _, n := range qg.Nodes {
+		if n.Name == "b" {
+			b = n
+		}
+	}
+	if len(b.Labels) != 1 || b.Labels[0] != "L" {
+		t.Fatalf("merged b = %+v", b)
+	}
+	// Two patterns that continue through b still form one chain here
+	// because the second pattern starts where the first ended.
+	if chains := qg.Chains(); len(chains) != 1 {
+		t.Fatalf("chains = %d", len(chains))
+	}
+}
+
+func TestQueryGraphDisjointChains(t *testing.T) {
+	q, err := cypher.Parse(`MATCH (a)-[:x]->(b), (c)-[:y]->(d) RETURN a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, err := BuildQueryGraph(q.Match)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chains := qg.Chains(); len(chains) != 2 {
+		t.Fatalf("chains = %d", len(chains))
+	}
+}
+
+func TestBuildQueryGraphEmpty(t *testing.T) {
+	if _, err := BuildQueryGraph(nil); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := BuildQueryGraph(&cypher.MatchClause{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,266 @@
+// Package plan builds and evaluates execution plans for the database
+// layer, reproducing the paper's Section 4.3: MATCH patterns become a
+// query graph, the query graph is split into linear paths, each path is
+// translated into an algebraic expression over label matrices, and the
+// expressions drive streaming plan operations — LabelScan, CondTraverse
+// for relationship patterns, and the new CFPQTraverse for path patterns,
+// whose named-pattern references are resolved by the multiple-source
+// CFPQ algorithm through the path pattern context.
+package plan
+
+import (
+	"fmt"
+
+	"mscfpq/internal/algebra"
+	"mscfpq/internal/cypher"
+	"mscfpq/internal/grammar"
+)
+
+// TranslatePathExpr converts a parsed path-pattern expression into an
+// algebraic expression (paper examples: node pattern (:x) -> V^x,
+// relationship :a -> E^a, path pattern :b ~S -> E^b * Ref(S)).
+func TranslatePathExpr(e cypher.PathExpr) (algebra.Expr, error) {
+	switch v := e.(type) {
+	case cypher.PESeq:
+		var out algebra.Expr
+		for _, part := range v.Parts {
+			sub, err := TranslatePathExpr(part)
+			if err != nil {
+				return nil, err
+			}
+			if _, isIdent := sub.(algebra.Ident); isIdent {
+				continue
+			}
+			if out == nil {
+				out = sub
+			} else {
+				out = algebra.Mul{L: out, R: sub}
+			}
+		}
+		if out == nil {
+			return algebra.Ident{}, nil
+		}
+		return out, nil
+	case cypher.PEAlt:
+		var out algebra.Expr
+		for _, alt := range v.Alts {
+			sub, err := TranslatePathExpr(alt)
+			if err != nil {
+				return nil, err
+			}
+			if out == nil {
+				out = sub
+			} else {
+				out = algebra.Add{L: out, R: sub}
+			}
+		}
+		return out, nil
+	case cypher.PERel:
+		label := v.Type
+		if v.Inverse {
+			label = grammar.InverseLabel(label)
+		}
+		return algebra.EdgeLabel{Label: label}, nil
+	case cypher.PENode:
+		var out algebra.Expr
+		for _, l := range v.Labels {
+			sub := algebra.Expr(algebra.VertexLabel{Label: l})
+			if out == nil {
+				out = sub
+			} else {
+				out = algebra.Mul{L: out, R: sub}
+			}
+		}
+		if out == nil {
+			return algebra.Ident{}, nil
+		}
+		return out, nil
+	case cypher.PERef:
+		return algebra.Ref{Name: v.Name}, nil
+	case cypher.PEStar:
+		sub, err := TranslatePathExpr(v.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Star{Sub: sub}, nil
+	case cypher.PEPlus:
+		sub, err := TranslatePathExpr(v.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Plus{Sub: sub}, nil
+	case cypher.PEOpt:
+		sub, err := TranslatePathExpr(v.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Opt{Sub: sub}, nil
+	default:
+		return nil, fmt.Errorf("plan: unsupported path expression %T", e)
+	}
+}
+
+// TranslateConnection converts a pattern connection into the algebraic
+// expression of the traverse operation that will execute it.
+func TranslateConnection(c cypher.Connection) (expr algebra.Expr, isPath bool, err error) {
+	switch v := c.(type) {
+	case cypher.RelPattern:
+		var e algebra.Expr
+		if len(v.Types) == 0 {
+			e = algebra.AnyEdge{}
+		} else {
+			for _, t := range v.Types {
+				sub := algebra.Expr(algebra.EdgeLabel{Label: t})
+				if e == nil {
+					e = sub
+				} else {
+					e = algebra.Add{L: e, R: sub}
+				}
+			}
+		}
+		if v.Inverse {
+			e = algebra.Transpose{Sub: e}
+		}
+		return e, false, nil
+	case cypher.PathApply:
+		e, err := TranslatePathExpr(v.Expr)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.Inverse {
+			e = algebra.Transpose{Sub: e}
+		}
+		return e, true, nil
+	default:
+		return nil, false, fmt.Errorf("plan: unsupported connection %T", c)
+	}
+}
+
+// PatternsToGrammar compiles the PATH PATTERN declarations into a
+// context-free grammar whose nonterminals are the pattern names:
+// relationship steps become terminals, node checks become vertex-label
+// terminals, references become nonterminals, and quantifiers introduce
+// auxiliary nonterminals. The grammar feeds the multiple-source CFPQ
+// engine that resolves references during plan evaluation.
+func PatternsToGrammar(pats []cypher.NamedPathPattern) (*grammar.Grammar, error) {
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("plan: no named path patterns")
+	}
+	declared := map[string]bool{}
+	for _, p := range pats {
+		if declared[p.Name] {
+			return nil, fmt.Errorf("plan: duplicate path pattern %q", p.Name)
+		}
+		declared[p.Name] = true
+	}
+	var prods []grammar.Production
+	fresh := 0
+	freshNT := func(base string) string {
+		fresh++
+		return fmt.Sprintf("%s#q%d", base, fresh)
+	}
+
+	// toSymbols flattens an expression into one RHS, introducing helper
+	// nonterminals for nested alternation and quantifiers.
+	var toSymbols func(owner string, e cypher.PathExpr) ([]grammar.Symbol, error)
+	var addAlternatives func(owner string, e cypher.PathExpr) error
+
+	toSymbols = func(owner string, e cypher.PathExpr) ([]grammar.Symbol, error) {
+		switch v := e.(type) {
+		case cypher.PESeq:
+			var out []grammar.Symbol
+			for _, part := range v.Parts {
+				syms, err := toSymbols(owner, part)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, syms...)
+			}
+			return out, nil
+		case cypher.PEAlt:
+			nt := freshNT(owner)
+			if err := addAlternatives(nt, v); err != nil {
+				return nil, err
+			}
+			return []grammar.Symbol{grammar.N(nt)}, nil
+		case cypher.PERel:
+			label := v.Type
+			if v.Inverse {
+				label = grammar.InverseLabel(label)
+			}
+			return []grammar.Symbol{grammar.T(label)}, nil
+		case cypher.PENode:
+			var out []grammar.Symbol
+			for _, l := range v.Labels {
+				out = append(out, grammar.T(l))
+			}
+			return out, nil
+		case cypher.PERef:
+			if !declared[v.Name] {
+				return nil, fmt.Errorf("plan: reference to undeclared path pattern %q", v.Name)
+			}
+			return []grammar.Symbol{grammar.N(v.Name)}, nil
+		case cypher.PEStar:
+			nt := freshNT(owner)
+			inner, err := toSymbols(nt, v.Sub)
+			if err != nil {
+				return nil, err
+			}
+			prods = append(prods,
+				grammar.Production{LHS: nt},
+				grammar.Production{LHS: nt, RHS: append(inner, grammar.N(nt))},
+			)
+			return []grammar.Symbol{grammar.N(nt)}, nil
+		case cypher.PEPlus:
+			nt := freshNT(owner)
+			inner, err := toSymbols(nt, v.Sub)
+			if err != nil {
+				return nil, err
+			}
+			prods = append(prods,
+				grammar.Production{LHS: nt, RHS: inner},
+				grammar.Production{LHS: nt, RHS: append(append([]grammar.Symbol{}, inner...), grammar.N(nt))},
+			)
+			return []grammar.Symbol{grammar.N(nt)}, nil
+		case cypher.PEOpt:
+			nt := freshNT(owner)
+			inner, err := toSymbols(nt, v.Sub)
+			if err != nil {
+				return nil, err
+			}
+			prods = append(prods,
+				grammar.Production{LHS: nt},
+				grammar.Production{LHS: nt, RHS: inner},
+			)
+			return []grammar.Symbol{grammar.N(nt)}, nil
+		default:
+			return nil, fmt.Errorf("plan: unsupported path expression %T", e)
+		}
+	}
+
+	addAlternatives = func(owner string, e cypher.PathExpr) error {
+		if alt, ok := e.(cypher.PEAlt); ok {
+			for _, a := range alt.Alts {
+				syms, err := toSymbols(owner, a)
+				if err != nil {
+					return err
+				}
+				prods = append(prods, grammar.Production{LHS: owner, RHS: syms})
+			}
+			return nil
+		}
+		syms, err := toSymbols(owner, e)
+		if err != nil {
+			return err
+		}
+		prods = append(prods, grammar.Production{LHS: owner, RHS: syms})
+		return nil
+	}
+
+	for _, p := range pats {
+		if err := addAlternatives(p.Name, p.Expr); err != nil {
+			return nil, err
+		}
+	}
+	return grammar.New(pats[0].Name, prods)
+}

@@ -1,0 +1,8 @@
+package plan
+
+import "mscfpq/internal/grammar"
+
+// wcnfFor normalizes a grammar for test assertions.
+func wcnfFor(g *grammar.Grammar) (*grammar.WCNF, error) {
+	return grammar.ToWCNF(g)
+}

@@ -1,0 +1,145 @@
+package resp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a minimal RESP client for the graph server. Not safe for
+// concurrent use; open one client per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("resp: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends a command and returns the raw reply. An error reply becomes
+// a Go error.
+func (c *Client) Do(args ...string) (Value, error) {
+	req := Value{Kind: Array, Array: make([]Value, len(args))}
+	for i, a := range args {
+		req.Array[i] = Bulk(a)
+	}
+	if err := Write(c.w, req); err != nil {
+		return Value{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Value{}, err
+	}
+	reply, err := Read(c.r)
+	if err != nil {
+		return Value{}, err
+	}
+	if reply.Kind == ErrorString {
+		return Value{}, fmt.Errorf("resp: server: %s", reply.Str)
+	}
+	return reply, nil
+}
+
+// Ping round-trips a PING.
+func (c *Client) Ping() error {
+	v, err := c.Do("PING")
+	if err != nil {
+		return err
+	}
+	if v.Str != "PONG" {
+		return fmt.Errorf("resp: unexpected PING reply %q", v.Str)
+	}
+	return nil
+}
+
+// QueryReply is a decoded GRAPH.QUERY response.
+type QueryReply struct {
+	Columns []string
+	Rows    [][]int64
+	Stats   []string
+}
+
+// GraphQuery runs GRAPH.QUERY and decodes the reply.
+func (c *Client) GraphQuery(graph, query string) (*QueryReply, error) {
+	v, err := c.Do("GRAPH.QUERY", graph, query)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != Array || len(v.Array) != 3 {
+		return nil, fmt.Errorf("resp: malformed GRAPH.QUERY reply")
+	}
+	out := &QueryReply{}
+	for _, h := range v.Array[0].Array {
+		out.Columns = append(out.Columns, h.Str)
+	}
+	for _, row := range v.Array[1].Array {
+		var cells []int64
+		for _, cell := range row.Array {
+			if cell.Kind != Integer {
+				return nil, fmt.Errorf("resp: non-integer result cell")
+			}
+			cells = append(cells, cell.Int)
+		}
+		out.Rows = append(out.Rows, cells)
+	}
+	for _, s := range v.Array[2].Array {
+		out.Stats = append(out.Stats, s.Str)
+	}
+	return out, nil
+}
+
+// GraphExplain runs GRAPH.EXPLAIN and returns the plan lines.
+func (c *Client) GraphExplain(graph, query string) ([]string, error) {
+	v, err := c.Do("GRAPH.EXPLAIN", graph, query)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, l := range v.Array {
+		out = append(out, l.Str)
+	}
+	return out, nil
+}
+
+// GraphProfile runs GRAPH.PROFILE and returns the instrumented plan
+// lines.
+func (c *Client) GraphProfile(graph, query string) ([]string, error) {
+	v, err := c.Do("GRAPH.PROFILE", graph, query)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, l := range v.Array {
+		out = append(out, l.Str)
+	}
+	return out, nil
+}
+
+// GraphDelete runs GRAPH.DELETE.
+func (c *Client) GraphDelete(graph string) error {
+	_, err := c.Do("GRAPH.DELETE", graph)
+	return err
+}
+
+// GraphList runs GRAPH.LIST.
+func (c *Client) GraphList() ([]string, error) {
+	v, err := c.Do("GRAPH.LIST")
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, l := range v.Array {
+		out = append(out, l.Str)
+	}
+	return out, nil
+}

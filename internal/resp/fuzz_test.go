@@ -1,0 +1,54 @@
+package resp
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the protocol reader never panics and that whatever
+// it successfully reads re-encodes and re-reads identically.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"+OK\r\n",
+		"-ERR boom\r\n",
+		":42\r\n",
+		"$5\r\nhello\r\n",
+		"$-1\r\n",
+		"*2\r\n$4\r\nPING\r\n$1\r\nx\r\n",
+		"*-1\r\n",
+		"*1000000\r\n",
+		"$99999999999\r\n",
+		"garbage",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Read(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		if err := Write(w, v); err != nil {
+			// Error kinds re-encode with an ERR prefix; everything the
+			// reader produces must be writable.
+			t.Fatalf("cannot re-encode %+v: %v", v, err)
+		}
+		w.Flush()
+		back, err := Read(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("cannot re-read %q: %v", buf.String(), err)
+		}
+		if back.Kind != v.Kind && !(v.Kind == ErrorString && back.Kind == ErrorString) {
+			t.Fatalf("kind changed: %q -> %q", v.Kind, back.Kind)
+		}
+		if v.Kind == ErrorString {
+			if !strings.Contains(back.Str, v.Str) {
+				t.Fatalf("error text lost: %q -> %q", v.Str, back.Str)
+			}
+		}
+	})
+}

@@ -1,0 +1,196 @@
+// Package resp implements the Redis serialization protocol (RESP2) and
+// a TCP server/client pair exposing the graph database the way
+// RedisGraph does: GRAPH.QUERY, GRAPH.EXPLAIN, GRAPH.DELETE and
+// GRAPH.LIST commands plus the basic PING/ECHO/QUIT.
+package resp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Value is one RESP value. Exactly one field is meaningful per Kind.
+type Value struct {
+	Kind  Kind
+	Str   string  // SimpleString, BulkString, Error
+	Int   int64   // Integer
+	Array []Value // Array
+	Null  bool    // null bulk string / null array
+}
+
+// Kind enumerates RESP2 types.
+type Kind byte
+
+const (
+	SimpleString Kind = '+'
+	ErrorString  Kind = '-'
+	Integer      Kind = ':'
+	BulkString   Kind = '$'
+	Array        Kind = '*'
+)
+
+// Helpers for building replies.
+
+// OK is the +OK reply.
+func OK() Value { return Value{Kind: SimpleString, Str: "OK"} }
+
+// Simple builds a simple string.
+func Simple(s string) Value { return Value{Kind: SimpleString, Str: s} }
+
+// Errorf builds an error reply.
+func Errorf(format string, args ...any) Value {
+	return Value{Kind: ErrorString, Str: fmt.Sprintf(format, args...)}
+}
+
+// Bulk builds a bulk string.
+func Bulk(s string) Value { return Value{Kind: BulkString, Str: s} }
+
+// Int builds an integer.
+func Int(n int64) Value { return Value{Kind: Integer, Int: n} }
+
+// Arr builds an array.
+func Arr(vs ...Value) Value { return Value{Kind: Array, Array: vs} }
+
+// NullBulk is the null bulk string.
+func NullBulk() Value { return Value{Kind: BulkString, Null: true} }
+
+// Write encodes a value onto w.
+func Write(w *bufio.Writer, v Value) error {
+	switch v.Kind {
+	case SimpleString:
+		_, err := fmt.Fprintf(w, "+%s\r\n", v.Str)
+		return err
+	case ErrorString:
+		_, err := fmt.Fprintf(w, "-ERR %s\r\n", v.Str)
+		return err
+	case Integer:
+		_, err := fmt.Fprintf(w, ":%d\r\n", v.Int)
+		return err
+	case BulkString:
+		if v.Null {
+			_, err := w.WriteString("$-1\r\n")
+			return err
+		}
+		_, err := fmt.Fprintf(w, "$%d\r\n%s\r\n", len(v.Str), v.Str)
+		return err
+	case Array:
+		if v.Null {
+			_, err := w.WriteString("*-1\r\n")
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "*%d\r\n", len(v.Array)); err != nil {
+			return err
+		}
+		for _, e := range v.Array {
+			if err := Write(w, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("resp: unknown kind %q", v.Kind)
+	}
+}
+
+// maxBulkLen bounds bulk payloads (16 MiB) to keep a broken peer from
+// forcing huge allocations.
+const maxBulkLen = 16 << 20
+
+// Read decodes one value from r.
+func Read(r *bufio.Reader) (Value, error) {
+	t, err := r.ReadByte()
+	if err != nil {
+		return Value{}, err
+	}
+	switch Kind(t) {
+	case SimpleString:
+		s, err := readLine(r)
+		return Value{Kind: SimpleString, Str: s}, err
+	case ErrorString:
+		s, err := readLine(r)
+		return Value{Kind: ErrorString, Str: s}, err
+	case Integer:
+		s, err := readLine(r)
+		if err != nil {
+			return Value{}, err
+		}
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("resp: bad integer %q", s)
+		}
+		return Value{Kind: Integer, Int: n}, nil
+	case BulkString:
+		s, err := readLine(r)
+		if err != nil {
+			return Value{}, err
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < -1 || n > maxBulkLen {
+			return Value{}, fmt.Errorf("resp: bad bulk length %q", s)
+		}
+		if n == -1 {
+			return Value{Kind: BulkString, Null: true}, nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return Value{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return Value{}, fmt.Errorf("resp: bulk string missing CRLF")
+		}
+		return Value{Kind: BulkString, Str: string(buf[:n])}, nil
+	case Array:
+		s, err := readLine(r)
+		if err != nil {
+			return Value{}, err
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < -1 || n > maxBulkLen {
+			return Value{}, fmt.Errorf("resp: bad array length %q", s)
+		}
+		if n == -1 {
+			return Value{Kind: Array, Null: true}, nil
+		}
+		out := Value{Kind: Array, Array: make([]Value, 0, min(n, 1024))}
+		for i := 0; i < n; i++ {
+			e, err := Read(r)
+			if err != nil {
+				return Value{}, err
+			}
+			out.Array = append(out.Array, e)
+		}
+		return out, nil
+	default:
+		return Value{}, fmt.Errorf("resp: unexpected type byte %q", t)
+	}
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return "", fmt.Errorf("resp: line missing CRLF")
+	}
+	return line[:len(line)-2], nil
+}
+
+// Strings extracts a command's words from a client array.
+func Strings(v Value) ([]string, error) {
+	if v.Kind != Array || v.Null {
+		return nil, fmt.Errorf("resp: expected command array")
+	}
+	out := make([]string, len(v.Array))
+	for i, e := range v.Array {
+		switch e.Kind {
+		case BulkString, SimpleString:
+			out[i] = e.Str
+		default:
+			return nil, fmt.Errorf("resp: command element %d is not a string", i)
+		}
+	}
+	return out, nil
+}

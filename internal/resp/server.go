@@ -1,0 +1,283 @@
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+
+	"mscfpq/internal/gdb"
+)
+
+// Server serves the graph database over RESP.
+type Server struct {
+	DB     *gdb.DB
+	Logger *log.Logger // nil = silent
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+}
+
+// NewServer wraps a database.
+func NewServer(db *gdb.DB) *Server {
+	return &Server{DB: db, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen binds the address and returns the bound address (useful with
+// ":0" for tests).
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("resp: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until Close. Call after Listen.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return errors.New("resp: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			down := s.shutdown
+			s.mu.Unlock()
+			if down {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if _, err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Close stops accepting and closes open connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.shutdown = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logger != nil {
+		s.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		args, err := s.readCommand(r)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("resp: read: %v", err)
+			}
+			return
+		}
+		if len(args) == 0 {
+			_ = Write(w, Errorf("protocol error"))
+			_ = w.Flush()
+			return
+		}
+		reply, quit := s.dispatch(args)
+		if err := Write(w, reply); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// readCommand reads either a RESP array command or, like Redis, an
+// inline command: a plain text line of space-separated words (handy for
+// testing with netcat / telnet).
+func (s *Server) readCommand(r *bufio.Reader) ([]string, error) {
+	b, err := r.Peek(1)
+	if err != nil {
+		return nil, err
+	}
+	if b[0] == byte(Array) {
+		req, err := Read(r)
+		if err != nil {
+			return nil, err
+		}
+		return Strings(req)
+	}
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		if fields := strings.Fields(line); len(fields) > 0 {
+			return fields, nil
+		}
+		// Like Redis, empty inline lines are ignored.
+	}
+}
+
+// dispatch executes one command.
+func (s *Server) dispatch(args []string) (reply Value, quit bool) {
+	cmd := strings.ToUpper(args[0])
+	switch cmd {
+	case "PING":
+		if len(args) > 1 {
+			return Bulk(args[1]), false
+		}
+		return Simple("PONG"), false
+	case "ECHO":
+		if len(args) != 2 {
+			return Errorf("wrong number of arguments for ECHO"), false
+		}
+		return Bulk(args[1]), false
+	case "QUIT":
+		return OK(), true
+	case "COMMAND":
+		return Arr(), false
+	case "GRAPH.QUERY":
+		if len(args) != 3 {
+			return Errorf("usage: GRAPH.QUERY <graph> <query>"), false
+		}
+		res, err := s.DB.Query(args[1], args[2])
+		if err != nil {
+			return Errorf("%v", err), false
+		}
+		return encodeResult(res), false
+	case "GRAPH.EXPLAIN":
+		if len(args) != 3 {
+			return Errorf("usage: GRAPH.EXPLAIN <graph> <query>"), false
+		}
+		text, err := s.DB.Explain(args[1], args[2])
+		if err != nil {
+			return Errorf("%v", err), false
+		}
+		var lines []Value
+		for _, l := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+			lines = append(lines, Bulk(l))
+		}
+		return Arr(lines...), false
+	case "GRAPH.STATS":
+		if len(args) != 2 {
+			return Errorf("usage: GRAPH.STATS <graph>"), false
+		}
+		lines, err := s.DB.Stats(args[1])
+		if err != nil {
+			return Errorf("%v", err), false
+		}
+		var vals []Value
+		for _, l := range lines {
+			vals = append(vals, Bulk(l))
+		}
+		return Arr(vals...), false
+	case "GRAPH.DUMP":
+		if len(args) != 2 {
+			return Errorf("usage: GRAPH.DUMP <graph>"), false
+		}
+		dump, err := s.DB.Dump(args[1])
+		if err != nil {
+			return Errorf("%v", err), false
+		}
+		return Bulk(dump), false
+	case "GRAPH.RESTORE":
+		if len(args) != 3 {
+			return Errorf("usage: GRAPH.RESTORE <graph> <dump>"), false
+		}
+		if err := s.DB.Restore(args[1], args[2]); err != nil {
+			return Errorf("%v", err), false
+		}
+		return OK(), false
+	case "GRAPH.PROFILE":
+		if len(args) != 3 {
+			return Errorf("usage: GRAPH.PROFILE <graph> <query>"), false
+		}
+		lines, err := s.DB.Profile(args[1], args[2])
+		if err != nil {
+			return Errorf("%v", err), false
+		}
+		var vals []Value
+		for _, l := range lines {
+			vals = append(vals, Bulk(l))
+		}
+		return Arr(vals...), false
+	case "GRAPH.DELETE":
+		if len(args) != 2 {
+			return Errorf("usage: GRAPH.DELETE <graph>"), false
+		}
+		if !s.DB.Delete(args[1]) {
+			return Errorf("graph %q does not exist", args[1]), false
+		}
+		return OK(), false
+	case "GRAPH.LIST":
+		var names []Value
+		for _, n := range s.DB.List() {
+			names = append(names, Bulk(n))
+		}
+		return Arr(names...), false
+	default:
+		return Errorf("unknown command '%s'", args[0]), false
+	}
+}
+
+// encodeResult renders a query result the way RedisGraph does: a
+// three-element array of header, rows, and statistics.
+func encodeResult(res *gdb.QueryResult) Value {
+	header := make([]Value, len(res.Columns))
+	for i, c := range res.Columns {
+		header[i] = Bulk(c)
+	}
+	rows := make([]Value, len(res.Rows))
+	for i, row := range res.Rows {
+		cells := make([]Value, len(row))
+		for j, v := range row {
+			cells[j] = Int(v)
+		}
+		rows[i] = Arr(cells...)
+	}
+	stats := []Value{
+		Bulk(fmt.Sprintf("Nodes created: %d", res.NodesCreated)),
+		Bulk(fmt.Sprintf("Relationships created: %d", res.EdgesCreated)),
+		Bulk(fmt.Sprintf("Rows returned: %d", len(res.Rows))),
+	}
+	return Arr(Arr(header...), Arr(rows...), Arr(stats...))
+}

@@ -1,0 +1,239 @@
+package rpq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+)
+
+// DFA is a deterministic automaton over graph labels, built from an NFA
+// by subset construction and optionally minimized. Deterministic
+// evaluation multiplies one reachability matrix per state with no
+// epsilon bookkeeping, which is the fastest of the RPQ engines here.
+type DFA struct {
+	NumStates int
+	Start     int
+	Accept    []bool
+	// Trans[label][state] = next state, or -1.
+	Trans map[string][]int
+}
+
+// Determinize performs subset construction over the NFA (epsilon
+// closures become single DFA states).
+func Determinize(n *NFA) *DFA {
+	closure := func(set map[int]bool) map[int]bool { return n.epsClosure(set) }
+	key := func(set map[int]bool) string {
+		ids := make([]int, 0, len(set))
+		for q := range set {
+			ids = append(ids, q)
+		}
+		sort.Ints(ids)
+		parts := make([]string, len(ids))
+		for i, q := range ids {
+			parts[i] = fmt.Sprintf("%d", q)
+		}
+		return strings.Join(parts, ",")
+	}
+	labels := n.Labels()
+
+	d := &DFA{Trans: map[string][]int{}}
+	stateOf := map[string]int{}
+	var sets []map[int]bool
+	newState := func(set map[int]bool) int {
+		k := key(set)
+		if id, ok := stateOf[k]; ok {
+			return id
+		}
+		id := d.NumStates
+		d.NumStates++
+		stateOf[k] = id
+		sets = append(sets, set)
+		d.Accept = append(d.Accept, set[n.Accept])
+		for _, l := range labels {
+			d.Trans[l] = append(d.Trans[l], -1)
+		}
+		return id
+	}
+
+	start := closure(map[int]bool{n.Start: true})
+	d.Start = newState(start)
+	for work := []int{d.Start}; len(work) > 0; {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		set := sets[s]
+		for _, l := range labels {
+			next := map[int]bool{}
+			for _, tr := range n.Trans[l] {
+				if set[tr[0]] {
+					next[tr[1]] = true
+				}
+			}
+			if len(next) == 0 {
+				continue
+			}
+			next = closure(next)
+			before := d.NumStates
+			t := newState(next)
+			d.Trans[l][s] = t
+			if t == before { // genuinely new state
+				work = append(work, t)
+			}
+		}
+	}
+	return d
+}
+
+// Minimize merges indistinguishable states (Moore partition
+// refinement). Unreachable states are dropped by construction since
+// Determinize only creates reachable states.
+func (d *DFA) Minimize() *DFA {
+	labels := make([]string, 0, len(d.Trans))
+	for l := range d.Trans {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	// Initial partition: accepting vs non-accepting (plus an implicit
+	// dead class for -1 targets).
+	class := make([]int, d.NumStates)
+	for s, acc := range d.Accept {
+		if acc {
+			class[s] = 1
+		}
+	}
+	for {
+		// Signature of a state: its class plus the classes reached per
+		// label (-1 stays -1).
+		sig := make([]string, d.NumStates)
+		for s := 0; s < d.NumStates; s++ {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d", class[s])
+			for _, l := range labels {
+				t := d.Trans[l][s]
+				if t >= 0 {
+					fmt.Fprintf(&b, "|%s=%d", l, class[t])
+				} else {
+					fmt.Fprintf(&b, "|%s=.", l)
+				}
+			}
+			sig[s] = b.String()
+		}
+		next := make([]int, d.NumStates)
+		ids := map[string]int{}
+		for s, g := range sig {
+			id, ok := ids[g]
+			if !ok {
+				id = len(ids)
+				ids[g] = id
+			}
+			next[s] = id
+		}
+		same := true
+		for s := range class {
+			if class[s] != next[s] {
+				same = false
+				break
+			}
+		}
+		class = next
+		if same {
+			break
+		}
+	}
+
+	nclasses := 0
+	for _, c := range class {
+		if c+1 > nclasses {
+			nclasses = c + 1
+		}
+	}
+	out := &DFA{NumStates: nclasses, Start: class[d.Start], Accept: make([]bool, nclasses), Trans: map[string][]int{}}
+	for _, l := range labels {
+		out.Trans[l] = make([]int, nclasses)
+		for i := range out.Trans[l] {
+			out.Trans[l][i] = -1
+		}
+	}
+	for s := 0; s < d.NumStates; s++ {
+		c := class[s]
+		if d.Accept[s] {
+			out.Accept[c] = true
+		}
+		for _, l := range labels {
+			if t := d.Trans[l][s]; t >= 0 {
+				out.Trans[l][c] = class[t]
+			}
+		}
+	}
+	return out
+}
+
+// AcceptsWord reports whether the DFA accepts the label word.
+func (d *DFA) AcceptsWord(word []string) bool {
+	s := d.Start
+	for _, l := range word {
+		ts, ok := d.Trans[l]
+		if !ok {
+			return false
+		}
+		s = ts[s]
+		if s < 0 {
+			return false
+		}
+	}
+	return d.Accept[s]
+}
+
+// EvalPairsDFA answers a multiple-source regular path query through the
+// deterministic automaton: one reachability matrix per DFA state,
+// R_t += R_s * G^l per transition, no epsilon fixpoint interleaving.
+func EvalPairsDFA(g *graph.Graph, d *DFA, src *matrix.Vector) (*matrix.Bool, error) {
+	if g == nil || d == nil {
+		return nil, fmt.Errorf("rpq: nil graph or DFA")
+	}
+	nv := g.NumVertices()
+	if src == nil || src.Size() != nv {
+		return nil, fmt.Errorf("rpq: source vector size mismatch (graph has %d vertices)", nv)
+	}
+	r := make([]*matrix.Bool, d.NumStates)
+	for q := range r {
+		r[q] = matrix.NewBool(nv, nv)
+	}
+	matrix.AddInPlace(r[d.Start], src.Diag())
+
+	labelM := map[string]*matrix.Bool{}
+	for l := range d.Trans {
+		m := g.EdgeMatrix(l)
+		if vs := g.VertexSet(l); vs.NVals() > 0 {
+			m = matrix.Add(m, vs.Diag())
+		}
+		labelM[l] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for l, ts := range d.Trans {
+			gm := labelM[l]
+			if gm.NVals() == 0 {
+				continue
+			}
+			for s, t := range ts {
+				if t < 0 || r[s].NVals() == 0 {
+					continue
+				}
+				if matrix.AddInPlace(r[t], matrix.Mul(r[s], gm)) {
+					changed = true
+				}
+			}
+		}
+	}
+	answer := matrix.NewBool(nv, nv)
+	for q, acc := range d.Accept {
+		if acc {
+			matrix.AddInPlace(answer, r[q])
+		}
+	}
+	return matrix.ExtractRows(answer, src), nil
+}

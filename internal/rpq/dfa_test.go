@@ -1,0 +1,106 @@
+package rpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+)
+
+// Property: determinization and minimization preserve the language.
+func TestDFALanguageEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	regexes := []string{"a", "a b", "a | b", "a*", "(a b)+", "a (b | c)* d?", "a? b?", "a_r* b"}
+	alphabet := []string{"a", "b", "c", "d", "a_r"}
+	for _, src := range regexes {
+		n, err := CompileRegex(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := Determinize(n)
+		m := d.Minimize()
+		if m.NumStates > d.NumStates {
+			t.Fatalf("regex %q: minimization grew the DFA (%d -> %d)", src, d.NumStates, m.NumStates)
+		}
+		for trial := 0; trial < 200; trial++ {
+			word := make([]string, rng.Intn(6))
+			for i := range word {
+				word[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			want := n.AcceptsWord(word)
+			if got := d.AcceptsWord(word); got != want {
+				t.Fatalf("regex %q word %v: DFA=%v NFA=%v", src, word, got, want)
+			}
+			if got := m.AcceptsWord(word); got != want {
+				t.Fatalf("regex %q word %v: minimized DFA=%v NFA=%v", src, word, got, want)
+			}
+		}
+	}
+}
+
+func TestMinimizeMergesStates(t *testing.T) {
+	// (a a)* | (a a)* has redundant structure the minimizer must fold;
+	// the minimal DFA for "even number of a's" has 2 live states.
+	n, err := CompileRegex("(a a)* | (a a)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Determinize(n).Minimize()
+	if m.NumStates > 2 {
+		t.Fatalf("minimized DFA has %d states, want <= 2", m.NumStates)
+	}
+}
+
+// Property: DFA evaluation equals NFA evaluation on random graphs.
+func TestEvalPairsDFAMatchesNFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, srcRe := range []string{"a+ b", "(a | b)*", "a_r* b", "a b? a"} {
+		n, err := CompileRegex(srcRe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := Determinize(n).Minimize()
+		for trial := 0; trial < 8; trial++ {
+			nv := 3 + rng.Intn(10)
+			g := graph.New(nv)
+			for e := 0; e < 2+rng.Intn(3*nv); e++ {
+				label := "a"
+				if rng.Intn(2) == 0 {
+					label = "b"
+				}
+				g.AddEdge(rng.Intn(nv), label, rng.Intn(nv))
+			}
+			src := matrix.NewVector(nv)
+			for v := 0; v < nv; v++ {
+				if rng.Intn(3) == 0 {
+					src.Set(v)
+				}
+			}
+			viaNFA, err := EvalPairs(g, n, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaDFA, err := EvalPairsDFA(g, d, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !viaDFA.Equal(viaNFA) {
+				t.Fatalf("regex %q trial %d: DFA=%v NFA=%v",
+					srcRe, trial, viaDFA.Pairs(), viaNFA.Pairs())
+			}
+		}
+	}
+}
+
+func TestEvalPairsDFAErrors(t *testing.T) {
+	n, _ := CompileRegex("a")
+	d := Determinize(n)
+	if _, err := EvalPairsDFA(nil, d, nil); err == nil {
+		t.Fatal("expected nil graph error")
+	}
+	g := chainGraph("a")
+	if _, err := EvalPairsDFA(g, d, matrix.NewVector(5)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}

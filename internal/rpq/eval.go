@@ -1,0 +1,104 @@
+package rpq
+
+import (
+	"fmt"
+
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+)
+
+// EvalPairs answers a multiple-source regular path query with pair
+// semantics: the result matrix has (s, v) set when some path from source
+// s to v spells a word of the regex's language.
+//
+// The evaluation is expressed in linear algebra, mirroring how the
+// database layer chains relation matrices: one |V| x |V| reachability
+// matrix R_q per NFA state, seeded with diag(src) at the start state and
+// grown by R_q' += R_q * G^l for every transition q -l-> q' until
+// fixpoint. The answer is R_accept restricted to src rows.
+func EvalPairs(g *graph.Graph, n *NFA, src *matrix.Vector) (*matrix.Bool, error) {
+	if g == nil || n == nil {
+		return nil, fmt.Errorf("rpq: nil graph or NFA")
+	}
+	nv := g.NumVertices()
+	if src == nil || src.Size() != nv {
+		return nil, fmt.Errorf("rpq: source vector size mismatch (graph has %d vertices)", nv)
+	}
+	r := make([]*matrix.Bool, n.NumStates)
+	for q := range r {
+		r[q] = matrix.NewBool(nv, nv)
+	}
+	matrix.AddInPlace(r[n.Start], src.Diag())
+
+	// Resolve each label to its graph matrix once.
+	labelM := map[string]*matrix.Bool{}
+	for _, l := range n.Labels() {
+		m := g.EdgeMatrix(l)
+		if vs := g.VertexSet(l); vs.NVals() > 0 {
+			m = matrix.Add(m, vs.Diag())
+		}
+		labelM[l] = m
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, e := range n.Eps {
+			if matrix.AddInPlace(r[e[1]], r[e[0]]) {
+				changed = true
+			}
+		}
+		for l, trans := range n.Trans {
+			gm := labelM[l]
+			if gm.NVals() == 0 {
+				continue
+			}
+			for _, tr := range trans {
+				if r[tr[0]].NVals() == 0 {
+					continue
+				}
+				if matrix.AddInPlace(r[tr[1]], matrix.Mul(r[tr[0]], gm)) {
+					changed = true
+				}
+			}
+		}
+	}
+	return matrix.ExtractRows(r[n.Accept], src), nil
+}
+
+// EvalReachable answers the query with set semantics: the vertices
+// reachable from any source by a path in the language.
+func EvalReachable(g *graph.Graph, n *NFA, src *matrix.Vector) (*matrix.Vector, error) {
+	pairs, err := EvalPairs(g, n, src)
+	if err != nil {
+		return nil, err
+	}
+	return matrix.ReduceCols(pairs), nil
+}
+
+// ToGrammar reduces the NFA to a right-linear context-free grammar whose
+// language equals the automaton's: one nonterminal per state, a
+// production Q_from -> l Q_to per transition, unit productions for eps
+// transitions, and Q_accept -> eps. Running the CFPQ engine on this
+// grammar answers the regular query, demonstrating the paper's claim
+// that regular queries are a partial case of CFPQ.
+func ToGrammar(n *NFA) *grammar.Grammar {
+	name := func(q int) string { return fmt.Sprintf("Q%d", q) }
+	var prods []grammar.Production
+	for l, trans := range n.Trans {
+		for _, tr := range trans {
+			prods = append(prods, grammar.Production{
+				LHS: name(tr[0]),
+				RHS: []grammar.Symbol{grammar.T(l), grammar.N(name(tr[1]))},
+			})
+		}
+	}
+	for _, e := range n.Eps {
+		prods = append(prods, grammar.Production{
+			LHS: name(e[0]),
+			RHS: []grammar.Symbol{grammar.N(name(e[1]))},
+		})
+	}
+	prods = append(prods, grammar.Production{LHS: name(n.Accept)})
+	return grammar.MustNew(name(n.Start), prods)
+}

@@ -1,0 +1,37 @@
+package rpq
+
+import "testing"
+
+// FuzzRegex asserts the regex pipeline (parse, NFA, DFA) never panics
+// and that NFA and minimized DFA agree on a short probe word.
+func FuzzRegex(f *testing.F) {
+	seeds := []string{
+		"a", "a b", "a | b", "a*", "(a b)+ c?", "a_r* b",
+		"((a))", "a**", "(", "|", "a |",
+	}
+	for _, s := range seeds {
+		f.Add(s, "a b")
+	}
+	f.Fuzz(func(t *testing.T, src, wordSrc string) {
+		n, err := CompileRegex(src)
+		if err != nil {
+			return
+		}
+		d := Determinize(n).Minimize()
+		var word []string
+		for _, c := range wordSrc {
+			switch c {
+			case 'a':
+				word = append(word, "a")
+			case 'b':
+				word = append(word, "b")
+			}
+			if len(word) > 6 {
+				break
+			}
+		}
+		if n.AcceptsWord(word) != d.AcceptsWord(word) {
+			t.Fatalf("regex %q word %v: NFA and DFA disagree", src, word)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package rpq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NFA is a Thompson-constructed nondeterministic finite automaton with a
+// single start and a single accept state. Epsilon transitions are kept
+// explicit; evaluation and grammar conversion handle them directly.
+type NFA struct {
+	NumStates int
+	Start     int
+	Accept    int
+	// Trans[label] lists (from, to) transitions for that label.
+	Trans map[string][][2]int
+	// Eps lists epsilon transitions.
+	Eps [][2]int
+}
+
+// CompileRegex parses src and builds its NFA.
+func CompileRegex(src string) (*NFA, error) {
+	node, err := ParseRegex(src)
+	if err != nil {
+		return nil, err
+	}
+	return BuildNFA(node), nil
+}
+
+// BuildNFA constructs a Thompson NFA for the AST. Every state lies on a
+// path from Start to Accept, a property the grammar reduction relies on.
+func BuildNFA(root Node) *NFA {
+	n := &NFA{Trans: map[string][][2]int{}}
+	newState := func() int {
+		s := n.NumStates
+		n.NumStates++
+		return s
+	}
+	var build func(node Node) (int, int)
+	build = func(node Node) (start, accept int) {
+		switch v := node.(type) {
+		case Label:
+			s, a := newState(), newState()
+			n.Trans[v.Name] = append(n.Trans[v.Name], [2]int{s, a})
+			return s, a
+		case Concat:
+			ls, la := build(v.Left)
+			rs, ra := build(v.Right)
+			n.Eps = append(n.Eps, [2]int{la, rs})
+			return ls, ra
+		case Alt:
+			s, a := newState(), newState()
+			ls, la := build(v.Left)
+			rs, ra := build(v.Right)
+			n.Eps = append(n.Eps, [2]int{s, ls}, [2]int{s, rs}, [2]int{la, a}, [2]int{ra, a})
+			return s, a
+		case Star:
+			s, a := newState(), newState()
+			is, ia := build(v.Sub)
+			n.Eps = append(n.Eps, [2]int{s, is}, [2]int{ia, a}, [2]int{s, a}, [2]int{ia, is})
+			return s, a
+		case Plus:
+			s, a := newState(), newState()
+			is, ia := build(v.Sub)
+			n.Eps = append(n.Eps, [2]int{s, is}, [2]int{ia, a}, [2]int{ia, is})
+			return s, a
+		case Opt:
+			s, a := newState(), newState()
+			is, ia := build(v.Sub)
+			n.Eps = append(n.Eps, [2]int{s, is}, [2]int{ia, a}, [2]int{s, a})
+			return s, a
+		default:
+			panic(fmt.Sprintf("rpq: unknown AST node %T", node))
+		}
+	}
+	n.Start, n.Accept = build(root)
+	return n
+}
+
+// Labels returns the sorted set of labels the NFA reads.
+func (n *NFA) Labels() []string {
+	out := make([]string, 0, len(n.Trans))
+	for l := range n.Trans {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AcceptsWord reports whether the NFA accepts the given label word;
+// used as a test oracle.
+func (n *NFA) AcceptsWord(word []string) bool {
+	cur := map[int]bool{n.Start: true}
+	cur = n.epsClosure(cur)
+	for _, l := range word {
+		next := map[int]bool{}
+		for _, tr := range n.Trans[l] {
+			if cur[tr[0]] {
+				next[tr[1]] = true
+			}
+		}
+		cur = n.epsClosure(next)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	return cur[n.Accept]
+}
+
+func (n *NFA) epsClosure(set map[int]bool) map[int]bool {
+	for changed := true; changed; {
+		changed = false
+		for _, e := range n.Eps {
+			if set[e[0]] && !set[e[1]] {
+				set[e[1]] = true
+				changed = true
+			}
+		}
+	}
+	return set
+}

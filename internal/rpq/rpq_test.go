@@ -1,0 +1,194 @@
+package rpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"mscfpq/internal/cfpq"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+)
+
+func TestParseRegex(t *testing.T) {
+	cases := map[string]string{
+		"a":        "a",
+		"a b":      "a b",
+		"a | b":    "(a | b)",
+		"a*":       "(a)*",
+		"a+ b?":    "(a)+ (b)?",
+		"(a b)* c": "(a b)* c",
+		"a | b c":  "(a | b c)",
+		"type_r a": "type_r a",
+		"((a))":    "a",
+	}
+	for src, want := range cases {
+		node, err := ParseRegex(src)
+		if err != nil {
+			t.Errorf("ParseRegex(%q): %v", src, err)
+			continue
+		}
+		if got := node.String(); got != want {
+			t.Errorf("ParseRegex(%q) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParseRegexErrors(t *testing.T) {
+	for _, src := range []string{"", "(", "a)", "|a", "a |", "*", "a $ b", "( )"} {
+		if _, err := ParseRegex(src); err == nil {
+			t.Errorf("ParseRegex(%q): expected error", src)
+		}
+	}
+}
+
+func TestNFAAcceptsWord(t *testing.T) {
+	n, err := CompileRegex("a (b | c)* d?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept := [][]string{
+		{"a"}, {"a", "d"}, {"a", "b", "c", "b"}, {"a", "b", "d"},
+	}
+	reject := [][]string{
+		{}, {"d"}, {"a", "d", "d"}, {"b"}, {"a", "a"},
+	}
+	for _, w := range accept {
+		if !n.AcceptsWord(w) {
+			t.Errorf("rejected %v", w)
+		}
+	}
+	for _, w := range reject {
+		if n.AcceptsWord(w) {
+			t.Errorf("accepted %v", w)
+		}
+	}
+}
+
+func chainGraph(labels ...string) *graph.Graph {
+	g := graph.New(len(labels) + 1)
+	for i, l := range labels {
+		g.AddEdge(i, l, i+1)
+	}
+	return g
+}
+
+func TestEvalPairsChain(t *testing.T) {
+	g := chainGraph("a", "b", "b", "c")
+	n, err := CompileRegex("a b* c?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := matrix.NewVectorFromIndices(5, []int{0})
+	got, err := EvalPairs(g, n, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From 0: a -> 1; a b -> 2; a b b -> 3; a b b c -> 4.
+	want := matrix.NewBoolFromPairs(5, 5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if !got.Equal(want) {
+		t.Fatalf("pairs = %v, want %v", got.Pairs(), want.Pairs())
+	}
+	reach, err := EvalReachable(g, n, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reach.Equal(matrix.NewVectorFromIndices(5, []int{1, 2, 3, 4})) {
+		t.Fatalf("reachable = %v", reach)
+	}
+}
+
+func TestEvalPairsInverseLabels(t *testing.T) {
+	g := chainGraph("a", "a")
+	n, err := CompileRegex("a_r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := matrix.NewVectorFromIndices(3, []int{1, 2})
+	got, err := EvalPairs(g, n, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.NewBoolFromPairs(3, 3, [][2]int{{1, 0}, {2, 1}})
+	if !got.Equal(want) {
+		t.Fatalf("pairs = %v", got.Pairs())
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	n, _ := CompileRegex("a")
+	if _, err := EvalPairs(nil, n, nil); err == nil {
+		t.Fatal("expected nil graph error")
+	}
+	g := chainGraph("a")
+	if _, err := EvalPairs(g, n, matrix.NewVector(99)); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+// randomWordAccept compares NFA acceptance against grammar membership of
+// the reduced CFG: the languages must be identical.
+func TestToGrammarLanguageEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	regexes := []string{"a", "a b", "a | b", "a*", "(a b)+", "a (b | c)* d?", "a? b?"}
+	alphabet := []string{"a", "b", "c", "d"}
+	for _, src := range regexes {
+		n, err := CompileRegex(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := grammar.MustWCNF(ToGrammar(n))
+		for trial := 0; trial < 120; trial++ {
+			word := make([]string, rng.Intn(5))
+			for i := range word {
+				word[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			if got, want := w.Accepts(word), n.AcceptsWord(word); got != want {
+				t.Fatalf("regex %q word %v: grammar=%v nfa=%v", src, word, got, want)
+			}
+		}
+	}
+}
+
+// Property (experiment E11's correctness leg): direct RPQ evaluation
+// equals CFPQ over the regex-derived grammar on random graphs.
+func TestRPQViaCFPQProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	regexes := []string{"a b", "a+ b", "(a | b)*", "a_r* b"}
+	for _, srcRe := range regexes {
+		n, err := CompileRegex(srcRe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := grammar.MustWCNF(ToGrammar(n))
+		for trial := 0; trial < 8; trial++ {
+			nv := 3 + rng.Intn(10)
+			g := graph.New(nv)
+			for e := 0; e < 2+rng.Intn(3*nv); e++ {
+				label := "a"
+				if rng.Intn(2) == 0 {
+					label = "b"
+				}
+				g.AddEdge(rng.Intn(nv), label, rng.Intn(nv))
+			}
+			src := matrix.NewVector(nv)
+			for v := 0; v < nv; v++ {
+				if rng.Intn(3) == 0 {
+					src.Set(v)
+				}
+			}
+			direct, err := EvalPairs(g, n, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := cfpq.MultiSource(g, w, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !direct.Equal(ms.Answer()) {
+				t.Fatalf("regex %q trial %d: direct=%v cfpq=%v",
+					srcRe, trial, direct.Pairs(), ms.Answer().Pairs())
+			}
+		}
+	}
+}

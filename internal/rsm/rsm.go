@@ -1,0 +1,203 @@
+// Package rsm implements recursive state machines and the
+// tensor-based (Kronecker product) CFPQ algorithm of Orachev et al.
+// (ADBIS 2020), which the paper's future-work section identifies as the
+// candidate for a unified RPQ/CFPQ engine. The algorithm evaluates a
+// context-free query without grammar normalization: the grammar becomes
+// an RSM whose boxes are finite automata over terminals and
+// nonterminals, and reachability is computed by iterating
+//
+//	M = Σ_label RSM^label ⊗ Graph^label
+//	C = TransitiveClosure(M)
+//
+// harvesting (box start, box final) closure pairs as new
+// nonterminal-labeled graph edges until a fixpoint.
+package rsm
+
+import (
+	"fmt"
+	"sort"
+
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+)
+
+// RSM is a recursive state machine: one automaton box per nonterminal,
+// with globally numbered states and Boolean transition matrices per
+// symbol (terminal or nonterminal name).
+type RSM struct {
+	NumStates int
+	Start     string // start nonterminal
+
+	// BoxStart and BoxFinals give each nonterminal's entry state and
+	// accepting states.
+	BoxStart  map[string]int
+	BoxFinals map[string][]int
+
+	// Trans maps each symbol name to its state-transition matrix.
+	// Nonterminal names appear here for recursive calls.
+	Trans map[string]*matrix.Bool
+
+	// Nonterms records which symbol names are nonterminals.
+	Nonterms map[string]bool
+}
+
+// FromGrammar builds an RSM from a context-free grammar: each
+// production A -> X1..Xk becomes a linear chain from A's box start to a
+// fresh final state, sharing the start state across alternatives.
+func FromGrammar(g *grammar.Grammar) (*RSM, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	r := &RSM{
+		Start:     g.Start,
+		BoxStart:  map[string]int{},
+		BoxFinals: map[string][]int{},
+		Trans:     map[string]*matrix.Bool{},
+		Nonterms:  map[string]bool{},
+	}
+	for _, nt := range g.Nonterminals() {
+		r.Nonterms[nt] = true
+		r.BoxStart[nt] = r.NumStates
+		r.NumStates++
+	}
+	type edge struct {
+		from, to int
+		sym      string
+	}
+	var edges []edge
+	for _, p := range g.Prods {
+		cur := r.BoxStart[p.LHS]
+		if len(p.RHS) == 0 {
+			// eps production: the box start is itself final.
+			r.addFinal(p.LHS, cur)
+			continue
+		}
+		for i, s := range p.RHS {
+			var next int
+			if i == len(p.RHS)-1 {
+				next = r.NumStates
+				r.NumStates++
+				r.addFinal(p.LHS, next)
+			} else {
+				next = r.NumStates
+				r.NumStates++
+			}
+			edges = append(edges, edge{from: cur, to: next, sym: s.Name})
+			cur = next
+		}
+	}
+	for _, e := range edges {
+		m := r.Trans[e.sym]
+		if m == nil {
+			m = matrix.NewBool(r.NumStates, r.NumStates)
+			r.Trans[e.sym] = m
+		}
+		m.Set(e.from, e.to)
+	}
+	return r, nil
+}
+
+func (r *RSM) addFinal(nt string, state int) {
+	for _, f := range r.BoxFinals[nt] {
+		if f == state {
+			return
+		}
+	}
+	r.BoxFinals[nt] = append(r.BoxFinals[nt], state)
+	sort.Ints(r.BoxFinals[nt])
+}
+
+// Symbols returns the sorted set of transition symbols.
+func (r *RSM) Symbols() []string {
+	out := make([]string, 0, len(r.Trans))
+	for s := range r.Trans {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TensorAllPairs evaluates the context-free query over g with the
+// Kronecker-product algorithm and returns one relation matrix per
+// nonterminal. The result matches cfpq.AllPairs on the same inputs.
+//
+// The Kronecker matrix has (states x vertices)² entries, so this
+// algorithm suits small-to-medium graphs; it exists as the unified
+// RPQ/CFPQ engine called for by the paper's conclusion, and as an
+// independent oracle for the matrix algorithms.
+func (r *RSM) TensorAllPairs(g *graph.Graph) (map[string]*matrix.Bool, error) {
+	if g == nil {
+		return nil, fmt.Errorf("rsm: nil graph")
+	}
+	n := g.NumVertices()
+	rel := map[string]*matrix.Bool{}
+	for nt := range r.Nonterms {
+		rel[nt] = matrix.NewBool(n, n)
+		// A box whose start state is final accepts eps.
+		for _, f := range r.BoxFinals[nt] {
+			if f == r.BoxStart[nt] {
+				matrix.AddInPlace(rel[nt], matrix.Identity(n))
+				break
+			}
+		}
+	}
+
+	for {
+		// M = Σ_label RSM^label ⊗ G^label, where nonterminal labels use
+		// the relations derived so far.
+		m := matrix.NewBool(r.NumStates*n, r.NumStates*n)
+		for sym, tm := range r.Trans {
+			var gm *matrix.Bool
+			if r.Nonterms[sym] {
+				gm = rel[sym]
+			} else {
+				gm = g.EdgeMatrix(sym)
+				if vs := g.VertexSet(sym); vs.NVals() > 0 {
+					gm = matrix.Add(gm, vs.Diag())
+				}
+			}
+			if gm.NVals() == 0 || tm.NVals() == 0 {
+				continue
+			}
+			matrix.AddInPlace(m, matrix.Kron(tm, gm))
+		}
+		closure := matrix.TransitiveClosure(m)
+
+		changed := false
+		for nt := range r.Nonterms {
+			s := r.BoxStart[nt]
+			for _, f := range r.BoxFinals[nt] {
+				if f == s {
+					continue // eps case already seeded
+				}
+				// Closure entries (s*n+i, f*n+j) add (i, j) to rel[nt].
+				for i := 0; i < n; i++ {
+					row := closure.Row(s*n + i)
+					lo := uint32(f * n)
+					hi := lo + uint32(n)
+					for _, c := range row {
+						if c >= lo && c < hi {
+							if !rel[nt].Get(i, int(c-lo)) {
+								rel[nt].Set(i, int(c-lo))
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			return rel, nil
+		}
+	}
+}
+
+// Eval evaluates the query and returns the start-nonterminal relation.
+func (r *RSM) Eval(g *graph.Graph) (*matrix.Bool, error) {
+	rel, err := r.TensorAllPairs(g)
+	if err != nil {
+		return nil, err
+	}
+	return rel[r.Start], nil
+}

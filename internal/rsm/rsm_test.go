@@ -1,0 +1,171 @@
+package rsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"mscfpq/internal/cfpq"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+)
+
+func TestFromGrammarShapes(t *testing.T) {
+	g := grammar.AnBn("a", "b")
+	r, err := FromGrammar(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Start != "S" {
+		t.Fatalf("start = %q", r.Start)
+	}
+	if _, ok := r.BoxStart["S"]; !ok {
+		t.Fatal("no box for S")
+	}
+	if len(r.BoxFinals["S"]) == 0 {
+		t.Fatal("S box has no final states")
+	}
+	if !r.Nonterms["S"] || r.Nonterms["a"] {
+		t.Fatal("nonterminal classification wrong")
+	}
+	// Symbols: a, b, S.
+	syms := r.Symbols()
+	if len(syms) != 3 {
+		t.Fatalf("symbols = %v", syms)
+	}
+}
+
+func TestFromGrammarEpsilonBox(t *testing.T) {
+	r, err := FromGrammar(grammar.Dyck1("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S -> eps makes the box start final.
+	start := r.BoxStart["S"]
+	found := false
+	for _, f := range r.BoxFinals["S"] {
+		if f == start {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("eps production did not mark box start final")
+	}
+}
+
+func TestFromGrammarInvalid(t *testing.T) {
+	bad := &grammar.Grammar{Start: "X", Prods: []grammar.Production{{LHS: "S", RHS: []grammar.Symbol{grammar.T("a")}}}}
+	if _, err := FromGrammar(bad); err == nil {
+		t.Fatal("expected error for invalid grammar")
+	}
+}
+
+func TestTensorMatchesMatrixOnExample(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "b", 3)
+	g.AddEdge(3, "b", 0)
+	cf := grammar.AnBn("a", "b")
+	r, err := FromGrammar(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Eval(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := cfpq.AllPairs(g, grammar.MustWCNF(cf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ap.Start()) {
+		t.Fatalf("tensor:\n%v\nmatrix:\n%v", got, ap.Start())
+	}
+}
+
+// Property: the Kronecker algorithm agrees with Algorithm 1 on random
+// graphs for several grammars, including eps- and vertex-label cases.
+func TestTensorEqualsAllPairsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	grammars := map[string]*grammar.Grammar{
+		"anbn": grammar.AnBn("a", "b"),
+		"dyck": grammar.Dyck1("a", "b"),
+		"geoish": grammar.MustNew("S", []grammar.Production{
+			{LHS: "S", RHS: []grammar.Symbol{grammar.T("a"), grammar.N("S"), grammar.T("a_r")}},
+			{LHS: "S", RHS: []grammar.Symbol{grammar.T("a"), grammar.T("a_r")}},
+		}),
+	}
+	for name, cf := range grammars {
+		cf := cf
+		t.Run(name, func(t *testing.T) {
+			r, err := FromGrammar(cf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := grammar.MustWCNF(cf)
+			for trial := 0; trial < 6; trial++ {
+				n := 2 + rng.Intn(8)
+				g := graph.New(n)
+				for e := 0; e < 2+rng.Intn(2*n); e++ {
+					label := "a"
+					if rng.Intn(2) == 0 {
+						label = "b"
+					}
+					g.AddEdge(rng.Intn(n), label, rng.Intn(n))
+				}
+				got, err := r.Eval(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ap, err := cfpq.AllPairs(g, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(ap.Start()) {
+					t.Fatalf("trial %d (n=%d):\ntensor:\n%v\nmatrix:\n%v", trial, n, got, ap.Start())
+				}
+			}
+		})
+	}
+}
+
+func TestTensorVertexLabels(t *testing.T) {
+	// Paper's running example: L = { c^n y d^n } with y a vertex label.
+	g := graph.New(6)
+	g.AddEdge(3, "c", 2)
+	g.AddEdge(4, "c", 3)
+	g.AddEdge(2, "d", 4)
+	g.AddEdge(4, "d", 5)
+	g.AddEdge(5, "d", 4)
+	g.AddVertexLabel(2, "y")
+	g.AddVertexLabel(5, "y")
+	cf := grammar.MustNew("S", []grammar.Production{
+		{LHS: "S", RHS: []grammar.Symbol{grammar.T("c"), grammar.N("S"), grammar.T("d")}},
+		{LHS: "S", RHS: []grammar.Symbol{grammar.T("c"), grammar.T("y"), grammar.T("d")}},
+	})
+	r, err := FromGrammar(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Eval(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := cfpq.AllPairs(g, grammar.MustWCNF(cf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ap.Start()) {
+		t.Fatalf("tensor:\n%v\nmatrix:\n%v", got, ap.Start())
+	}
+}
+
+func TestTensorNilGraph(t *testing.T) {
+	r, err := FromGrammar(grammar.AnBn("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.TensorAllPairs(nil); err == nil {
+		t.Fatal("expected error for nil graph")
+	}
+}

@@ -1,0 +1,213 @@
+// Package mscfpq is a Go implementation of multiple-source context-free
+// path querying (CFPQ) in terms of sparse Boolean linear algebra, after
+// Terekhov et al., "Multiple-Source Context-Free Path Querying in Terms
+// of Linear Algebra" (EDBT 2021), together with the full-stack graph
+// database layer the paper builds: a Cypher dialect with openCypher path
+// patterns, execution plans with a CFPQTraverse operation, and a
+// RESP-protocol server.
+//
+// This root package is the public facade: it re-exports the user-facing
+// types and constructors so applications depend on one import path. The
+// implementation lives in internal/ packages (see DESIGN.md for the map).
+//
+// # Quick start
+//
+//	g := mscfpq.NewGraph(4)
+//	g.AddEdge(0, "a", 1)
+//	g.AddEdge(1, "b", 2)
+//	gr, _ := mscfpq.ParseGrammar("S -> a S b | a b")
+//	w, _ := mscfpq.ToWCNF(gr)
+//	src := mscfpq.NewVertexSet(g.NumVertices(), 0)
+//	res, _ := mscfpq.MultiSource(g, w, src)
+//	fmt.Println(res.Answer().Pairs())
+package mscfpq
+
+import (
+	"mscfpq/internal/cfpq"
+	"mscfpq/internal/dataset"
+	"mscfpq/internal/gdb"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+	"mscfpq/internal/resp"
+	"mscfpq/internal/rpq"
+	"mscfpq/internal/rsm"
+)
+
+// Core data model.
+type (
+	// Graph is an edge- and vertex-labeled directed graph stored as
+	// Boolean label matrices (the paper's data model).
+	Graph = graph.Graph
+	// Grammar is a context-free grammar over graph labels.
+	Grammar = grammar.Grammar
+	// WCNF is a grammar in weak Chomsky normal form, the input format of
+	// the matrix algorithms.
+	WCNF = grammar.WCNF
+	// VertexSet is a sparse set of vertices (query sources, results).
+	VertexSet = matrix.Vector
+	// BoolMatrix is a sparse Boolean matrix (relations, adjacency).
+	BoolMatrix = matrix.Bool
+)
+
+// Query results.
+type (
+	// Result holds one relation matrix per grammar nonterminal.
+	Result = cfpq.Result
+	// MSResult is a multiple-source result; Answer() restricts the start
+	// relation to the queried sources.
+	MSResult = cfpq.MSResult
+	// Index is the cross-query cache of the optimized multiple-source
+	// algorithm (Algorithm 3).
+	Index = cfpq.Index
+	// SinglePathResult additionally reconstructs witness paths.
+	SinglePathResult = cfpq.SinglePathResult
+	// PathStep is one edge (or vertex-label step) of an extracted path.
+	PathStep = cfpq.PathStep
+)
+
+// Database layer.
+type (
+	// DB is the in-memory multi-graph database.
+	DB = gdb.DB
+	// GraphStore couples a graph with node properties inside a DB.
+	GraphStore = gdb.GraphStore
+	// QueryResult is the outcome of one Cypher statement.
+	QueryResult = gdb.QueryResult
+	// Server serves a DB over the RESP protocol.
+	Server = resp.Server
+	// Client is a RESP client for the server.
+	Client = resp.Client
+	// QueryReply is a decoded GRAPH.QUERY response.
+	QueryReply = resp.QueryReply
+)
+
+// Regular path querying.
+type (
+	// NFA is a compiled regular path query.
+	NFA = rpq.NFA
+	// DFA is a determinized (optionally minimized) regular path query.
+	DFA = rpq.DFA
+	// RSM is a recursive state machine for the tensor CFPQ algorithm.
+	RSM = rsm.RSM
+)
+
+// DatasetSpec describes one synthetic analog of the paper's graphs.
+type DatasetSpec = dataset.Spec
+
+// NewGraph returns an empty graph with n vertices; it grows on demand.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// LoadGraph reads a graph from the textual edge-list format.
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// SaveGraph writes a graph in the textual edge-list format.
+func SaveGraph(path string, g *Graph) error { return graph.SaveFile(path, g) }
+
+// ParseGrammar parses a grammar ("S -> a S b | a b"; see internal/grammar).
+func ParseGrammar(src string) (*Grammar, error) { return grammar.ParseString(src) }
+
+// LoadGrammar reads a grammar file.
+func LoadGrammar(path string) (*Grammar, error) { return grammar.LoadFile(path) }
+
+// ToWCNF normalizes a grammar to weak Chomsky normal form.
+func ToWCNF(g *Grammar) (*WCNF, error) { return grammar.ToWCNF(g) }
+
+// G1 is the paper's same-generation query over subClassOf and type
+// (eq. 1).
+func G1() *Grammar { return grammar.G1() }
+
+// G2 is the paper's same-generation query over subClassOf alone (eq. 2).
+func G2() *Grammar { return grammar.G2() }
+
+// Geo is the paper's geospecies query over broaderTransitive (eq. 3).
+func Geo() *Grammar { return grammar.Geo() }
+
+// AnBnGrammar is the classic bracket-matching query S -> a S b | a b
+// used by the paper's running examples and the stress benchmarks.
+func AnBnGrammar() *Grammar { return grammar.AnBn("a", "b") }
+
+// NewVertexSet builds a vertex set of size n containing the given ids.
+func NewVertexSet(n int, ids ...int) *VertexSet {
+	return matrix.NewVectorFromIndices(n, ids)
+}
+
+// AllPairs runs Azimov's all-pairs CFPQ algorithm (Algorithm 1).
+func AllPairs(g *Graph, w *WCNF) (*Result, error) { return cfpq.AllPairs(g, w) }
+
+// MultiSource runs the paper's multiple-source algorithm (Algorithm 2).
+func MultiSource(g *Graph, w *WCNF, src *VertexSet) (*MSResult, error) {
+	return cfpq.MultiSource(g, w, src)
+}
+
+// NewIndex builds the cross-query cache for the optimized
+// multiple-source algorithm (Algorithm 3); query it with
+// Index.MultiSourceSmart.
+func NewIndex(g *Graph, w *WCNF) (*Index, error) { return cfpq.NewIndex(g, w) }
+
+// SinglePath runs all-pairs CFPQ with single-path semantics; the result
+// reconstructs one witness path per reachability fact.
+func SinglePath(g *Graph, w *WCNF) (*SinglePathResult, error) { return cfpq.SinglePath(g, w) }
+
+// MultiSourceSinglePath combines the multiple-source restriction of
+// Algorithm 2 with single-path semantics: only paths from src are
+// computed, and each answer pair can be expanded into a witness path.
+func MultiSourceSinglePath(g *Graph, w *WCNF, src *VertexSet) (*cfpq.MSSinglePathResult, error) {
+	return cfpq.MultiSourceSinglePath(g, w, src)
+}
+
+// AllPairsSemiNaive is AllPairs with semi-naive (delta) iteration; it
+// wins when the fixpoint runs many rounds (dense, deep hierarchies).
+func AllPairsSemiNaive(g *Graph, w *WCNF) (*Result, error) { return cfpq.AllPairsSemiNaive(g, w) }
+
+// Worklist runs the non-linear-algebra CFL-reachability baseline.
+func Worklist(g *Graph, w *WCNF) (*Result, error) { return cfpq.Worklist(g, w) }
+
+// CompileRegex compiles a regular path query ("subClassOf+ type?").
+func CompileRegex(src string) (*NFA, error) { return rpq.CompileRegex(src) }
+
+// EvalRegex answers a multiple-source regular path query with pair
+// semantics.
+func EvalRegex(g *Graph, n *NFA, src *VertexSet) (*BoolMatrix, error) {
+	return rpq.EvalPairs(g, n, src)
+}
+
+// RegexToGrammar reduces a regular query to a context-free grammar so
+// the CFPQ engine can evaluate it.
+func RegexToGrammar(n *NFA) *Grammar { return rpq.ToGrammar(n) }
+
+// Determinize builds the minimized DFA of a regular path query; answer
+// it with EvalRegexDFA (the fastest RPQ engine in the library).
+func Determinize(n *NFA) *DFA { return rpq.Determinize(n).Minimize() }
+
+// EvalRegexDFA answers a multiple-source regular path query through a
+// deterministic automaton.
+func EvalRegexDFA(g *Graph, d *DFA, src *VertexSet) (*BoolMatrix, error) {
+	return rpq.EvalPairsDFA(g, d, src)
+}
+
+// NewRSM builds the recursive state machine of a grammar for the
+// tensor (Kronecker product) CFPQ algorithm.
+func NewRSM(g *Grammar) (*RSM, error) { return rsm.FromGrammar(g) }
+
+// NewDB creates an empty graph database.
+func NewDB() *DB { return gdb.New() }
+
+// NewServer wraps a database in a RESP server.
+func NewServer(db *DB) *Server { return resp.NewServer(db) }
+
+// Dial connects a client to a running server.
+func Dial(addr string) (*Client, error) { return resp.Dial(addr) }
+
+// Dataset returns the registry of synthetic analogs of the paper's
+// evaluation graphs (Table 1).
+func Dataset() []DatasetSpec { return dataset.Registry() }
+
+// GenerateDataset materializes one analog by name, scaled by f.
+func GenerateDataset(name string, f float64) (*Graph, error) {
+	spec, err := dataset.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.Generate(dataset.Scaled(spec, f)), nil
+}

@@ -1,0 +1,203 @@
+package mscfpq
+
+import "testing"
+
+// TestFacadeQuickstart exercises the doc-comment example end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "b", 3)
+	g.AddEdge(3, "b", 0)
+	gr, err := ParseGrammar("S -> a S b | a b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ToWCNF(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewVertexSet(g.NumVertices(), 0, 1)
+	res, err := MultiSource(g, w, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a a b b from 0 ends at 0; a b from 1 ends at 3.
+	if !res.Answer().Get(0, 0) || !res.Answer().Get(1, 3) {
+		t.Fatalf("answer = %v", res.Answer().Pairs())
+	}
+
+	ap, err := AllPairs(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ap.Start().Get(0, 0) {
+		t.Fatal("all-pairs missing (0,0)")
+	}
+
+	sp, err := SinglePath(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := sp.Path(1, 3)
+	if err != nil || len(steps) != 2 {
+		t.Fatalf("path = %v, %v", steps, err)
+	}
+
+	wl, err := Worklist(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wl.Start().Equal(ap.Start()) {
+		t.Fatal("worklist differs from all-pairs")
+	}
+
+	idx, err := NewIndex(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smart, err := idx.MultiSourceSmart(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !smart.Answer().Equal(res.Answer()) {
+		t.Fatal("smart differs from fresh")
+	}
+}
+
+func TestFacadeSinglePathAndSemiNaive(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "b", 3)
+	g.AddEdge(3, "b", 0)
+	w, err := ToWCNF(AnBnGrammar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewVertexSet(4, 0)
+	msp, err := MultiSourceSinglePath(g, w, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msp.Answer().Get(0, 0) {
+		t.Fatalf("answer = %v", msp.Answer().Pairs())
+	}
+	steps, err := msp.Path(0, 0)
+	if err != nil || len(steps) != 4 {
+		t.Fatalf("witness = %v, %v", steps, err)
+	}
+	sn, err := AllPairsSemiNaive(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := AllPairs(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sn.Start().Equal(ap.Start()) {
+		t.Fatal("semi-naive differs")
+	}
+}
+
+func TestFacadeRegexAndRSM(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	nfa, err := CompileRegex("a+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewVertexSet(3, 0)
+	m, err := EvalRegex(g, nfa, src)
+	if err != nil || m.NVals() != 2 {
+		t.Fatalf("regex pairs = %v, %v", m, err)
+	}
+	gr := RegexToGrammar(nfa)
+	w, err := ToWCNF(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := MultiSource(g, w, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Answer().Equal(m) {
+		t.Fatal("regex via CFPQ differs")
+	}
+	machine, err := NewRSM(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := machine.Eval(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Get(0, 1) || !rel.Get(0, 2) {
+		t.Fatalf("tensor relation = %v", rel.Pairs())
+	}
+}
+
+func TestFacadeDatabase(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Query("g", `CREATE (a:N)-[:e]->(b:N)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("g", `MATCH (v:N)-[:e]->(u) RETURN v, u`)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("rows = %v, %v", res, err)
+	}
+	srv := NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reply, err := c.GraphQuery("g", `MATCH (v:N)-[:e]->(u) RETURN v, u`)
+	if err != nil || len(reply.Rows) != 1 {
+		t.Fatalf("reply = %v, %v", reply, err)
+	}
+}
+
+func TestFacadeDataset(t *testing.T) {
+	if len(Dataset()) != 8 {
+		t.Fatal("dataset registry incomplete")
+	}
+	g, err := GenerateDataset("core", 0.2)
+	if err != nil || g.NumVertices() == 0 {
+		t.Fatalf("generate: %v", err)
+	}
+	if _, err := GenerateDataset("nope", 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestFacadeQueryGrammars(t *testing.T) {
+	for _, g := range []*Grammar{G1(), G2(), Geo()} {
+		if _, err := ToWCNF(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	path := t.TempDir() + "/g.txt"
+	g := NewGraph(2)
+	g.AddEdge(0, "a", 1)
+	if err := SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadGraph(path)
+	if err != nil || !back.HasEdge(0, "a", 1) {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := LoadGrammar(path + ".nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
