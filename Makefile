@@ -2,12 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-quick experiments fuzz clean
+# Packages with internal concurrency (query governor, index locking,
+# server drain); `race-quick` covers just these, `race` the whole
+# module.
+RACE_PKGS = ./internal/gdb ./internal/resp ./internal/cfpq ./internal/exec
+
+.PHONY: check all build vet test race race-quick cover bench bench-quick experiments fuzz clean
+
+# Default: what CI runs on every change.
+check: build vet test race
 
 all: build test
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:
@@ -15,6 +25,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+race-quick:
+	$(GO) test -race $(RACE_PKGS)
 
 cover:
 	$(GO) test -cover ./...

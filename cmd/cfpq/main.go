@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"mscfpq/internal/cfpq"
+	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
@@ -40,6 +41,9 @@ func run(args []string, stdout io.Writer) error {
 		srcSpec     = fs.String("src", "", "comma-separated source vertices (ms/smart/worklist)")
 		limit       = fs.Int("limit", 50, "maximum pairs to print (0 = all)")
 		showPaths   = fs.Bool("paths", false, "print a witness path per pair (singlepath)")
+		timeout     = fs.Duration("timeout", 0, "abort the query after this duration (0 = none)")
+		budget      = fs.Int64("budget", 0, "abort after producing this many relation entries (0 = unlimited)")
+		workers     = fs.Int("workers", 0, "parallel multiplication workers (0 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,10 +71,21 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "graph: %d vertices, %d edges; grammar: %d nonterminals, %d rules\n",
 		g.NumVertices(), g.NumEdges(), w.NumNonterms(), len(w.BinRules)+len(w.TermRules))
 
+	var opts []exec.Option
+	if *timeout > 0 {
+		opts = append(opts, exec.WithTimeout(*timeout))
+	}
+	if *budget > 0 {
+		opts = append(opts, exec.WithBudget(*budget))
+	}
+	if *workers > 0 {
+		opts = append(opts, exec.WithWorkers(*workers))
+	}
+
 	var answer *matrix.Bool
 	switch *algo {
 	case "allpairs":
-		r, err := cfpq.AllPairs(g, w)
+		r, err := cfpq.AllPairs(g, w, opts...)
 		if err != nil {
 			return err
 		}
@@ -79,7 +94,7 @@ func run(args []string, stdout io.Writer) error {
 		if src == nil {
 			return fmt.Errorf("-algo ms needs -src")
 		}
-		r, err := cfpq.MultiSource(g, w, src)
+		r, err := cfpq.MultiSource(g, w, src, opts...)
 		if err != nil {
 			return err
 		}
@@ -88,7 +103,7 @@ func run(args []string, stdout io.Writer) error {
 		if src == nil {
 			return fmt.Errorf("-algo smart needs -src")
 		}
-		idx, err := cfpq.NewIndex(g, w)
+		idx, err := cfpq.NewIndex(g, w, opts...)
 		if err != nil {
 			return err
 		}
@@ -99,20 +114,20 @@ func run(args []string, stdout io.Writer) error {
 		answer = r.Answer()
 	case "worklist":
 		if src != nil {
-			m, err := cfpq.WorklistMultiSource(g, w, src)
+			m, err := cfpq.WorklistMultiSource(g, w, src, opts...)
 			if err != nil {
 				return err
 			}
 			answer = m
 		} else {
-			r, err := cfpq.Worklist(g, w)
+			r, err := cfpq.Worklist(g, w, opts...)
 			if err != nil {
 				return err
 			}
 			answer = r.Start()
 		}
 	case "singlepath":
-		sp, err := cfpq.SinglePath(g, w)
+		sp, err := cfpq.SinglePath(g, w, opts...)
 		if err != nil {
 			return err
 		}
@@ -125,7 +140,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		rel, err := machine.Eval(g)
+		rel, err := machine.Eval(g, opts...)
 		if err != nil {
 			return err
 		}

@@ -12,12 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"mscfpq/internal/dataset"
 	"mscfpq/internal/gdb"
@@ -39,9 +43,13 @@ func main() {
 
 func run() error {
 	var (
-		addr  = flag.String("addr", ":6380", "listen address")
-		loads listFlag
-		seeds listFlag
+		addr         = flag.String("addr", ":6380", "listen address")
+		queryTimeout = flag.Duration("query-timeout", 0, "default per-query timeout (0 = none; per-query TIMEOUT clause overrides)")
+		maxWork      = flag.Int64("max-work", 0, "per-query work budget in relation entries produced (0 = unlimited)")
+		slowQuery    = flag.Duration("slow-query", 0, "log queries at or above this duration (0 = only aborted queries)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain deadline")
+		loads        listFlag
+		seeds        listFlag
 	)
 	flag.Var(&loads, "load", "name=path of a graph file to load (repeatable)")
 	flag.Var(&seeds, "seed", "dataset graph to generate, name[@scale] (repeatable)")
@@ -51,6 +59,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	db.SetPolicy(gdb.Policy{
+		DefaultTimeout: *queryTimeout,
+		MaxWork:        *maxWork,
+		SlowQuery:      *slowQuery,
+		Log:            log.Default(),
+	})
 	srv := resp.NewServer(db)
 	srv.Logger = log.Default()
 	bound, err := srv.Listen(*addr)
@@ -58,7 +72,29 @@ func run() error {
 		return err
 	}
 	log.Printf("gsql-server listening on %s", bound)
-	return srv.Serve()
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight queries. The
+	// process exits non-zero only if the drain misses its deadline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		log.Printf("gsql-server shutting down (drain timeout %s)", *drainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(drainCtx)
+		<-serveErr // Serve returns nil once the listener closed for drain
+		if err != nil {
+			return err
+		}
+		log.Printf("gsql-server stopped cleanly")
+		return nil
+	}
 }
 
 // buildDB assembles the database from -load and -seed specifications.

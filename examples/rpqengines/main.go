@@ -2,15 +2,18 @@
 //
 // The paper's conclusion demonstrates that the CFPQ machinery evaluates
 // regular path queries too, and asks how the approaches compare. This
-// example answers the same regular query four ways — Thompson NFA
-// product, minimized DFA product, CFPQ over the regex-derived grammar,
-// and the tensor (Kronecker) RSM engine — verifying they agree and
-// printing their timings.
+// example answers the same regular query through the unified EvalRPQ
+// entry point with each of the four engines — Thompson NFA product,
+// minimized DFA product, CFPQ over the regex-derived grammar, and the
+// tensor (Kronecker) RSM engine — verifying they agree and printing
+// their timings. It also shows query governance: the last run is given
+// a deliberately tiny work budget and aborts with ErrBudget.
 //
 // Run with: go run ./examples/rpqengines
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -26,56 +29,41 @@ func main() {
 	const regex = "subClassOf+ type_r?"
 	fmt.Printf("query %q over the core analog (%d vertices)\n", regex, g.NumVertices())
 
-	nfa, err := mscfpq.CompileRegex(regex)
-	if err != nil {
-		log.Fatal(err)
-	}
 	src := mscfpq.NewVertexSet(g.NumVertices(), 10, 20, 30, 40, 50)
 
-	start := time.Now()
-	viaNFA, err := mscfpq.EvalRegex(g, nfa, src)
-	if err != nil {
-		log.Fatal(err)
+	engines := []struct {
+		name   string
+		engine mscfpq.Engine
+	}{
+		{"NFA product", mscfpq.EngineNFA},
+		{"minimized DFA", mscfpq.EngineDFA},
+		{"CFPQ (Alg. 2)", mscfpq.EngineCFPQ},
+		{"tensor RSM", mscfpq.EngineTensor},
 	}
-	tNFA := time.Since(start)
+	var first *mscfpq.BoolMatrix
+	for _, e := range engines {
+		start := time.Now()
+		reach, err := mscfpq.EvalRPQ(g, regex, src, mscfpq.WithEngine(e.engine))
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if first == nil {
+			first = reach
+		} else if !first.Equal(reach) {
+			log.Fatalf("engine %s disagrees with %s", e.name, engines[0].name)
+		}
+		fmt.Printf("  %-15s %6d pairs in %v\n", e.name+":", reach.NVals(), elapsed.Round(time.Microsecond))
+	}
+	fmt.Println("multiple-source answers verified identical across all four engines")
 
-	dfa := mscfpq.Determinize(nfa)
-	start = time.Now()
-	viaDFA, err := mscfpq.EvalRegexDFA(g, dfa, src)
-	if err != nil {
-		log.Fatal(err)
+	// Governed execution: the same query with a work budget far below
+	// what the fixpoint needs aborts deterministically with ErrBudget.
+	_, err = mscfpq.EvalRPQ(g, regex, src,
+		mscfpq.WithEngine(mscfpq.EngineCFPQ), mscfpq.WithBudget(10))
+	if errors.Is(err, mscfpq.ErrBudget) {
+		fmt.Println("budget of 10 relation entries: query aborted with ErrBudget as expected")
+	} else {
+		log.Fatalf("expected ErrBudget, got %v", err)
 	}
-	tDFA := time.Since(start)
-
-	gr := mscfpq.RegexToGrammar(nfa)
-	w, err := mscfpq.ToWCNF(gr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	start = time.Now()
-	viaCFPQ, err := mscfpq.MultiSource(g, w, src)
-	if err != nil {
-		log.Fatal(err)
-	}
-	tCFPQ := time.Since(start)
-
-	machine, err := mscfpq.NewRSM(gr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	start = time.Now()
-	viaTensor, err := machine.Eval(g) // all pairs
-	if err != nil {
-		log.Fatal(err)
-	}
-	tTensor := time.Since(start)
-
-	if !viaNFA.Equal(viaDFA) || !viaNFA.Equal(viaCFPQ.Answer()) {
-		log.Fatal("engines disagree")
-	}
-	fmt.Printf("  NFA product:      %6d pairs in %v\n", viaNFA.NVals(), tNFA.Round(time.Microsecond))
-	fmt.Printf("  minimized DFA:    %6d pairs in %v\n", viaDFA.NVals(), tDFA.Round(time.Microsecond))
-	fmt.Printf("  CFPQ (Alg. 2):    %6d pairs in %v\n", viaCFPQ.Answer().NVals(), tCFPQ.Round(time.Microsecond))
-	fmt.Printf("  tensor RSM:       %6d pairs in %v (all pairs, superset)\n", viaTensor.NVals(), tTensor.Round(time.Microsecond))
-	fmt.Println("multiple-source answers verified identical across the three MS engines")
 }

@@ -19,8 +19,26 @@ package algebra
 import (
 	"fmt"
 
+	"mscfpq/internal/exec"
 	"mscfpq/internal/matrix"
 )
+
+// Governed is an optional Env extension: environments that also
+// implement it have their multiplications and closures routed through
+// the returned execution governor, giving expression evaluation the
+// same cancellation, timeout, and budget behavior as the CFPQ engines.
+// A nil governor (or an Env without the method) evaluates ungoverned.
+type Governed interface {
+	ExecRun() *exec.Run
+}
+
+// envRun extracts the optional governor; nil means ungoverned.
+func envRun(env Env) *exec.Run {
+	if g, ok := env.(Governed); ok {
+		return g.ExecRun()
+	}
+	return nil
+}
 
 // Env resolves symbolic operands during evaluation.
 type Env interface {
@@ -141,7 +159,7 @@ func (e Mul) eval(env Env) (*matrix.Bool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return matrix.Mul(l, r), nil
+	return envRun(env).Mul(l, r)
 }
 
 func (e Transpose) eval(env Env) (*matrix.Bool, error) {
@@ -174,7 +192,11 @@ func (e Star) eval(env Env) (*matrix.Bool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return matrix.Add(matrix.TransitiveClosure(m), matrix.Identity(env.Vertices())), nil
+	c, err := envRun(env).Closure(m)
+	if err != nil {
+		return nil, err
+	}
+	return matrix.Add(c, matrix.Identity(env.Vertices())), nil
 }
 
 func (e Plus) eval(env Env) (*matrix.Bool, error) {
@@ -182,7 +204,7 @@ func (e Plus) eval(env Env) (*matrix.Bool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return matrix.TransitiveClosure(m), nil
+	return envRun(env).Closure(m)
 }
 
 func (e Opt) eval(env Env) (*matrix.Bool, error) {

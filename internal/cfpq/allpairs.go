@@ -1,6 +1,7 @@
 package cfpq
 
 import (
+	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
@@ -18,7 +19,8 @@ func AllPairs(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result, error) 
 	if err := checkInputs(g, w); err != nil {
 		return nil, err
 	}
-	o := buildOptions(opts)
+	run, cancel := exec.Build(opts).Start()
+	defer cancel()
 	n := g.NumVertices()
 	r := newResult(w, n)
 	initSimpleRules(r, g)
@@ -27,7 +29,10 @@ func AllPairs(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result, error) 
 	for changed := true; changed; {
 		changed = false
 		for _, rule := range w.BinRules {
-			prod := o.mul(r.T[rule.B], r.T[rule.C])
+			prod, err := run.Mul(r.T[rule.B], r.T[rule.C])
+			if err != nil {
+				return nil, err
+			}
 			if matrix.AddInPlace(r.T[rule.A], prod) {
 				changed = true
 			}

@@ -2,7 +2,9 @@ package cfpq
 
 import (
 	"fmt"
+	"sync"
 
+	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
@@ -16,26 +18,36 @@ import (
 //
 // An Index is bound to an immutable snapshot of the graph: mutating the
 // graph after NewIndex invalidates the cache (the paper's setting —
-// static graph, repeated queries). Not safe for concurrent use.
+// static graph, repeated queries). Queries against one Index may run
+// from multiple goroutines; they are serialized internally.
+//
+// Cancellation safety: each query runs its fixpoint on private clones
+// of the cached matrices and folds them back only after the fixpoint
+// completes. A query aborted by its context, timeout, or budget leaves
+// the cache exactly as it found it — the index never publishes a
+// half-grown (T, TSrc) pair.
 type Index struct {
 	G *graph.Graph
 	W *grammar.WCNF
 
+	mu   sync.Mutex
 	T    []*matrix.Bool // cached relation matrices, grown monotonically
 	TSrc []*matrix.Bool // sources already fully processed, per nonterminal
 
-	opts    Options
+	opts    exec.Options
 	queries int
 }
 
 // NewIndex creates an empty cache for (g, w), seeding T from the simple
-// and eps rules once; subsequent queries share the seeded matrices.
+// and eps rules once; subsequent queries share the seeded matrices. The
+// options become per-index defaults; per-query options layered on top
+// via MultiSourceSmart override them.
 func NewIndex(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Index, error) {
 	if err := checkInputs(g, w); err != nil {
 		return nil, err
 	}
 	n := g.NumVertices()
-	idx := &Index{G: g, W: w, opts: buildOptions(opts)}
+	idx := &Index{G: g, W: w, opts: exec.Build(opts)}
 	r := newResult(w, n)
 	initSimpleRules(r, g)
 	initEpsRules(r, n)
@@ -48,11 +60,17 @@ func NewIndex(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Index, error) {
 }
 
 // Queries returns the number of queries evaluated against the index.
-func (idx *Index) Queries() int { return idx.queries }
+func (idx *Index) Queries() int {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	return idx.queries
+}
 
 // CachedSources returns the set of vertices whose start-nonterminal
 // paths are already fully computed.
 func (idx *Index) CachedSources() *matrix.Vector {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
 	return matrix.DiagVector(idx.TSrc[idx.W.Start])
 }
 
@@ -62,30 +80,37 @@ func (idx *Index) CachedSources() *matrix.Vector {
 // sources are filtered against the cached TSrc (lines 9-10) so each
 // vertex is processed at most once per nonterminal across the lifetime
 // of the index.
-func (idx *Index) MultiSourceSmart(src *matrix.Vector) (*MSResult, error) {
+func (idx *Index) MultiSourceSmart(src *matrix.Vector, opts ...Option) (*MSResult, error) {
 	if src == nil {
 		return nil, fmt.Errorf("cfpq: nil source vector")
 	}
-	return idx.MultiSourceSmartFrom(map[int]*matrix.Vector{idx.W.Start: src})
+	return idx.MultiSourceSmartFrom(map[int]*matrix.Vector{idx.W.Start: src}, opts...)
 }
 
 // MultiSourceSmartFrom is the generalization of Algorithm 3 the database
 // layer uses (Section 4.3.2): source sets may be requested for arbitrary
 // nonterminals (the named path patterns an operation depends on), and
 // the cache is shared across all of them.
-func (idx *Index) MultiSourceSmartFrom(srcByNT map[int]*matrix.Vector) (*MSResult, error) {
+//
+// The returned result holds a private snapshot of the relations as of
+// this query's commit, safe to read while later queries grow the cache.
+func (idx *Index) MultiSourceSmartFrom(srcByNT map[int]*matrix.Vector, opts ...Option) (*MSResult, error) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	run, cancel := idx.opts.Apply(opts).Start()
+	defer cancel()
 	n := idx.G.NumVertices()
-	idx.queries++
 	w := idx.W
+	nnt := w.NumNonterms()
 
-	newSrc := make([]*matrix.Bool, w.NumNonterms())
+	newSrc := make([]*matrix.Bool, nnt)
 	for a := range newSrc {
 		newSrc[a] = matrix.NewBool(n, n)
 	}
 	requested := matrix.NewVector(n)
 	// Line 3: only sources not yet in the cache enter the computation.
 	for a, src := range srcByNT {
-		if a < 0 || a >= w.NumNonterms() {
+		if a < 0 || a >= nnt {
 			return nil, fmt.Errorf("cfpq: source nonterminal id %d out of range", a)
 		}
 		if src == nil || src.Size() != n {
@@ -98,12 +123,28 @@ func (idx *Index) MultiSourceSmartFrom(srcByNT map[int]*matrix.Vector) (*MSResul
 			requested = src.Clone()
 		}
 	}
+	idx.queries++
+
+	// The fixpoint mutates private clones of the cached relations; the
+	// cache itself is only touched by the commit below, so an abort
+	// (cancellation, timeout, budget) rolls back for free.
+	work := make([]*matrix.Bool, nnt)
+	for a := range work {
+		work[a] = idx.T[a].Clone()
+	}
 
 	for changed := true; changed; {
 		changed = false
 		for _, rule := range w.BinRules {
-			m := idx.opts.mul(newSrc[rule.A], idx.T[rule.B])
-			if matrix.AddInPlace(idx.T[rule.A], idx.opts.mul(m, idx.T[rule.C])) {
+			m, err := run.Mul(newSrc[rule.A], work[rule.B])
+			if err != nil {
+				return nil, err
+			}
+			prod, err := run.Mul(m, work[rule.C])
+			if err != nil {
+				return nil, err
+			}
+			if matrix.AddInPlace(work[rule.A], prod) {
 				changed = true
 			}
 			// TNewSrc^B += TNewSrc^A \ index.TSrc^B (line 9).
@@ -118,17 +159,35 @@ func (idx *Index) MultiSourceSmartFrom(srcByNT map[int]*matrix.Vector) (*MSResul
 			}
 		}
 	}
-	// Fold the processed sources into the cache.
-	for a := range newSrc {
+
+	// Commit: fold the fully-computed facts and processed sources into
+	// the cache. AddInPlace (rather than pointer replacement) keeps the
+	// matrices previously handed out by Relation growing monotonically.
+	srcSnap := make([]*matrix.Bool, nnt)
+	for a := range work {
+		matrix.AddInPlace(idx.T[a], work[a])
 		matrix.AddInPlace(idx.TSrc[a], newSrc[a])
+		srcSnap[a] = idx.TSrc[a].Clone()
 	}
 	return &MSResult{
-		Result:  &Result{W: w, T: idx.T},
-		Src:     idx.TSrc,
+		Result:  &Result{W: w, T: work},
+		Src:     srcSnap,
 		Sources: requested,
 	}, nil
 }
 
 // Relation returns the cached relation matrix for a nonterminal id. The
 // matrix is shared with the index and grows as queries are evaluated.
-func (idx *Index) Relation(a int) *matrix.Bool { return idx.T[a] }
+func (idx *Index) Relation(a int) *matrix.Bool {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	return idx.T[a]
+}
+
+// ProcessedSources returns the vertices already fully processed for a
+// nonterminal id — the diagonal of the cached TSrc matrix.
+func (idx *Index) ProcessedSources(a int) *matrix.Vector {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	return matrix.DiagVector(idx.TSrc[a])
+}

@@ -3,6 +3,7 @@ package cfpq
 import (
 	"fmt"
 
+	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
@@ -55,7 +56,8 @@ func MultiSourceFrom(g *graph.Graph, w *grammar.WCNF, srcByNT map[int]*matrix.Ve
 		return nil, err
 	}
 	n := g.NumVertices()
-	o := buildOptions(opts)
+	run, cancel := exec.Build(opts).Start()
+	defer cancel()
 
 	r := &MSResult{Result: newResult(w, n), Sources: matrix.NewVector(n)}
 	r.Src = make([]*matrix.Bool, w.NumNonterms())
@@ -84,8 +86,15 @@ func MultiSourceFrom(g *graph.Graph, w *grammar.WCNF, srcByNT map[int]*matrix.Ve
 	for changed := true; changed; {
 		changed = false
 		for _, rule := range w.BinRules {
-			m := o.mul(r.Src[rule.A], r.T[rule.B])
-			if matrix.AddInPlace(r.T[rule.A], o.mul(m, r.T[rule.C])) {
+			m, err := run.Mul(r.Src[rule.A], r.T[rule.B])
+			if err != nil {
+				return nil, err
+			}
+			prod, err := run.Mul(m, r.T[rule.C])
+			if err != nil {
+				return nil, err
+			}
+			if matrix.AddInPlace(r.T[rule.A], prod) {
 				changed = true
 			}
 			if matrix.AddInPlace(r.Src[rule.B], r.Src[rule.A]) {

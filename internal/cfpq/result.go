@@ -3,48 +3,36 @@ package cfpq
 import (
 	"fmt"
 
+	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
 )
 
-// Options tunes algorithm execution.
-type Options struct {
-	// Workers is the number of goroutines used for large matrix
-	// multiplications; 0 or 1 means serial.
-	Workers int
-	// Hybrid switches multiplication kernels by operand density
-	// (matrix.MulHybrid), which pays off when relations densify during
-	// the fixpoint (deep hierarchies like go-hierarchy).
-	Hybrid bool
-}
+// Option tunes algorithm execution. It is an alias of exec.Option, so
+// the same options (context, timeout, budget, workers, kernels) work
+// uniformly across the CFPQ, RPQ, and tensor engines.
+type Option = exec.Option
 
-// Option mutates Options.
-type Option func(*Options)
+// WithContext attaches a cancellation context to the query.
+var WithContext = exec.WithContext
+
+// WithTimeout bounds the query's wall-clock execution time.
+var WithTimeout = exec.WithTimeout
+
+// WithBudget bounds the query's total work (relation entries produced
+// across fixpoint iterations).
+var WithBudget = exec.WithBudget
 
 // WithWorkers sets the multiplication parallelism.
-func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+var WithWorkers = exec.WithWorkers
 
 // WithHybridKernels enables density-based kernel switching.
-func WithHybridKernels() Option { return func(o *Options) { o.Hybrid = true } }
+var WithHybridKernels = exec.WithHybridKernels
 
-func buildOptions(opts []Option) Options {
-	var o Options
-	for _, fn := range opts {
-		fn(&o)
-	}
-	return o
-}
-
-func (o Options) mul(a, b *matrix.Bool) *matrix.Bool {
-	if o.Hybrid {
-		return matrix.MulHybrid(a, b)
-	}
-	if o.Workers > 1 {
-		return matrix.MulPar(a, b, o.Workers)
-	}
-	return matrix.Mul(a, b)
-}
+// WithRun shares an existing execution governor across layers of one
+// query.
+var WithRun = exec.WithRun
 
 // Result holds the context-free relations R_A computed by a query: one
 // Boolean matrix per grammar nonterminal, where T^A[i,j] means there is

@@ -1,6 +1,7 @@
 package cfpq
 
 import (
+	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
@@ -20,7 +21,8 @@ func AllPairsSemiNaive(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result
 	if err := checkInputs(g, w); err != nil {
 		return nil, err
 	}
-	o := buildOptions(opts)
+	run, cancel := exec.Build(opts).Start()
+	defer cancel()
 	n := g.NumVertices()
 	r := newResult(w, n)
 	initSimpleRules(r, g)
@@ -40,13 +42,21 @@ func AllPairsSemiNaive(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result
 		progress := false
 		for _, rule := range w.BinRules {
 			if delta[rule.B].NVals() > 0 {
-				fresh := matrix.Sub(o.mul(delta[rule.B], r.T[rule.C]), r.T[rule.A])
+				prod, err := run.Mul(delta[rule.B], r.T[rule.C])
+				if err != nil {
+					return nil, err
+				}
+				fresh := matrix.Sub(prod, r.T[rule.A])
 				if fresh.NVals() > 0 {
 					matrix.AddInPlace(next[rule.A], fresh)
 				}
 			}
 			if delta[rule.C].NVals() > 0 {
-				fresh := matrix.Sub(o.mul(r.T[rule.B], delta[rule.C]), r.T[rule.A])
+				prod, err := run.Mul(r.T[rule.B], delta[rule.C])
+				if err != nil {
+					return nil, err
+				}
+				fresh := matrix.Sub(prod, r.T[rule.A])
 				if fresh.NVals() > 0 {
 					matrix.AddInPlace(next[rule.A], fresh)
 				}

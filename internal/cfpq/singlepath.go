@@ -3,6 +3,7 @@ package cfpq
 import (
 	"fmt"
 
+	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
@@ -50,10 +51,12 @@ type SinglePathResult struct {
 // entry of every relation matrix, the first derivation that produced it
 // (a witness mid vertex and rule for binary steps). The extra bookkeeping
 // is the measured cost of single-path semantics over plain reachability.
-func SinglePath(g *graph.Graph, w *grammar.WCNF) (*SinglePathResult, error) {
+func SinglePath(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*SinglePathResult, error) {
 	if err := checkInputs(g, w); err != nil {
 		return nil, err
 	}
+	run, cancel := exec.Build(opts).Start()
+	defer cancel()
 	n := g.NumVertices()
 	r := &SinglePathResult{Result: newResult(w, n), prov: make([]map[uint64]provEntry, w.NumNonterms())}
 	for a := range r.prov {
@@ -96,7 +99,16 @@ func SinglePath(g *graph.Graph, w *grammar.WCNF) (*SinglePathResult, error) {
 	for changed := true; changed; {
 		changed = false
 		for ri, rule := range w.BinRules {
+			// MulWitness has no row-block cancellation; checking between
+			// rule applications still bounds the latency of a cancel to
+			// one multiplication.
+			if err := run.Err(); err != nil {
+				return nil, err
+			}
 			prod, wit := matrix.MulWitness(r.T[rule.B], r.T[rule.C])
+			if err := run.Charge(prod.NVals()); err != nil {
+				return nil, err
+			}
 			fresh := matrix.Sub(prod, r.T[rule.A])
 			if fresh.NVals() == 0 {
 				continue

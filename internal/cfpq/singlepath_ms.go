@@ -3,6 +3,7 @@ package cfpq
 import (
 	"fmt"
 
+	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
@@ -32,10 +33,12 @@ func (r *MSSinglePathResult) Answer() *matrix.Bool {
 // produced it. Combining the two is the natural extension of the
 // paper's Figure 2 experiment (single-path extraction) to the
 // multiple-source setting the paper advocates.
-func MultiSourceSinglePath(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector) (*MSSinglePathResult, error) {
+func MultiSourceSinglePath(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector, opts ...Option) (*MSSinglePathResult, error) {
 	if err := checkInputs(g, w); err != nil {
 		return nil, err
 	}
+	run, cancel := exec.Build(opts).Start()
+	defer cancel()
 	n := g.NumVertices()
 	if src == nil || src.Size() != n {
 		return nil, fmt.Errorf("cfpq: source vector size mismatch (graph has %d vertices)", n)
@@ -90,8 +93,14 @@ func MultiSourceSinglePath(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector) 
 			// M = TSrc^A * T^B restricts rows to the current sources;
 			// because TSrc^A is diagonal, M's entries are T^B entries,
 			// so witnesses found against M decompose through real facts.
-			m := matrix.Mul(r.Src[rule.A], r.T[rule.B])
+			m, err := run.Mul(r.Src[rule.A], r.T[rule.B])
+			if err != nil {
+				return nil, err
+			}
 			prod, wit := matrix.MulWitness(m, r.T[rule.C])
+			if err := run.Charge(prod.NVals()); err != nil {
+				return nil, err
+			}
 			fresh := matrix.Sub(prod, r.T[rule.A])
 			if fresh.NVals() > 0 {
 				fresh.Iterate(func(i, j int) bool {

@@ -1,6 +1,7 @@
 package cfpq
 
 import (
+	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
@@ -12,11 +13,13 @@ import (
 // compare against. Facts (A, i, j) are propagated one at a time through
 // the binary rules; adjacency lists per (nonterminal, vertex) give the
 // required joins.
-func Worklist(g *graph.Graph, w *grammar.WCNF) (*Result, error) {
+func Worklist(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result, error) {
 	if err := checkInputs(g, w); err != nil {
 		return nil, err
 	}
-	return worklistOn(g, w, nil)
+	run, cancel := exec.Build(opts).Start()
+	defer cancel()
+	return worklistOn(g, w, nil, run)
 }
 
 // WorklistMultiSource answers a multiple-source query with the worklist
@@ -27,21 +30,28 @@ func Worklist(g *graph.Graph, w *grammar.WCNF) (*Result, error) {
 // all-pairs on the induced subgraph and restricts rows to src. This is
 // the natural "handle only the required subgraph" strategy the paper's
 // conclusion attributes to non-linear-algebra solutions.
-func WorklistMultiSource(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector) (*matrix.Bool, error) {
+func WorklistMultiSource(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector, opts ...Option) (*matrix.Bool, error) {
 	if err := checkInputs(g, w); err != nil {
 		return nil, err
 	}
+	run, cancel := exec.Build(opts).Start()
+	defer cancel()
 	keep := g.Reachable(src, true)
-	r, err := worklistOn(g, w, keep)
+	r, err := worklistOn(g, w, keep, run)
 	if err != nil {
 		return nil, err
 	}
 	return matrix.ExtractRows(r.Start(), src), nil
 }
 
+// worklistCheckFacts is how many queue pops the worklist solver
+// processes between governor checks.
+const worklistCheckFacts = 1024
+
 // worklistOn runs the solver; if keep is non-nil only vertices in keep
-// participate.
-func worklistOn(g *graph.Graph, w *grammar.WCNF, keep *matrix.Vector) (*Result, error) {
+// participate. The governor is consulted every worklistCheckFacts
+// propagated facts and charged one work unit per derived fact.
+func worklistOn(g *graph.Graph, w *grammar.WCNF, keep *matrix.Vector, run *exec.Run) (*Result, error) {
 	n := g.NumVertices()
 	nnt := w.NumNonterms()
 	r := newResult(w, n)
@@ -108,7 +118,18 @@ func worklistOn(g *graph.Graph, w *grammar.WCNF, keep *matrix.Vector) (*Result, 
 		byC[rule.C] = append(byC[rule.C], rule)
 	}
 
+	popped := 0
 	for len(queue) > 0 {
+		if popped%worklistCheckFacts == 0 {
+			charge := worklistCheckFacts
+			if popped == 0 {
+				charge = 0
+			}
+			if err := run.Charge(charge); err != nil {
+				return nil, err
+			}
+		}
+		popped++
 		f := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		// f is a (B, i, j) fact: extend right with C facts (j, k).

@@ -6,13 +6,17 @@ import (
 )
 
 // Query is a parsed Cypher statement: optional PATH PATTERN
-// declarations, then one CREATE or MATCH/WHERE/RETURN block.
+// declarations, then one CREATE or MATCH/WHERE/RETURN block, with an
+// optional trailing TIMEOUT clause.
 type Query struct {
 	PathPatterns []NamedPathPattern
 	Create       *CreateClause
 	Match        *MatchClause
 	Where        Expr // nil when absent
 	Return       *ReturnClause
+	// TimeoutMS bounds the statement's execution in milliseconds
+	// (trailing "TIMEOUT <ms>" clause); 0 means the server default.
+	TimeoutMS int
 }
 
 // NamedPathPattern is PATH PATTERN Name = ()-/ expr /->().

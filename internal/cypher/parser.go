@@ -125,6 +125,13 @@ func (p *qparser) query() (*Query, error) {
 	default:
 		return nil, p.errf("expected CREATE, MATCH or PATH PATTERN, found %q", p.cur().text)
 	}
+	if p.acceptKeyword("timeout") {
+		n, err := p.nonNegInt("TIMEOUT")
+		if err != nil {
+			return nil, err
+		}
+		q.TimeoutMS = n
+	}
 	if p.cur().kind != tokEOF {
 		return nil, p.errf("unexpected trailing input %q", p.cur().text)
 	}

@@ -1,0 +1,53 @@
+package cypher
+
+import (
+	"testing"
+)
+
+func TestParseTimeoutClause(t *testing.T) {
+	q, err := Parse("MATCH (v)-[:a]->(w) RETURN v, w TIMEOUT 250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TimeoutMS != 250 {
+		t.Fatalf("TimeoutMS = %d, want 250", q.TimeoutMS)
+	}
+
+	q, err = Parse("MATCH (v)-[:a]->(w) RETURN v, w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TimeoutMS != 0 {
+		t.Fatalf("TimeoutMS = %d, want 0 (no clause)", q.TimeoutMS)
+	}
+}
+
+func TestParseTimeoutCaseInsensitive(t *testing.T) {
+	q, err := Parse("MATCH (v)-[:a]->(w) RETURN v timeout 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TimeoutMS != 5 {
+		t.Fatalf("TimeoutMS = %d, want 5", q.TimeoutMS)
+	}
+}
+
+func TestParseTimeoutErrors(t *testing.T) {
+	for _, src := range []string{
+		"MATCH (v)-[:a]->(w) RETURN v TIMEOUT",
+		"MATCH (v)-[:a]->(w) RETURN v TIMEOUT -3",
+		"MATCH (v)-[:a]->(w) RETURN v TIMEOUT soon",
+		"MATCH (v)-[:a]->(w) RETURN v TIMEOUT 5 TIMEOUT 6",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseTimeoutOnlyTrailing(t *testing.T) {
+	// TIMEOUT is a trailing clause: it cannot precede RETURN.
+	if _, err := Parse("MATCH (v)-[:a]->(w) TIMEOUT 5 RETURN v"); err == nil {
+		t.Fatal("mid-query TIMEOUT accepted")
+	}
+}

@@ -1,0 +1,274 @@
+// Package exec holds the execution-governance layer shared by every
+// query engine in the repository: a functional-options type configuring
+// how a query runs (context, timeout, work budget, kernel selection)
+// and a Run governor the algorithms consult between units of work.
+//
+// The paper's algorithms are batch fixpoints; embedded in a database
+// serving concurrent traffic they must instead be bounded and
+// interruptible. All long-running loops — CFPQ fixpoint rounds, RPQ
+// automaton products, Kronecker closures, plan operator pulls, and the
+// row blocks of large matrix multiplications — check the governor and
+// abort with context.Canceled, context.DeadlineExceeded or ErrBudget.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mscfpq/internal/matrix"
+)
+
+// ErrBudget is returned when a query exceeds its work budget (the
+// cumulative number of relation entries produced across fixpoint
+// iterations).
+var ErrBudget = errors.New("query work budget exceeded")
+
+// Engine selects the evaluation engine for regular path queries (the
+// four engines of the RPQ unification experiment).
+type Engine int
+
+const (
+	// EngineAuto picks the default engine (the minimized-DFA product,
+	// the fastest RPQ evaluator in the library).
+	EngineAuto Engine = iota
+	// EngineNFA evaluates through the Thompson NFA product.
+	EngineNFA
+	// EngineDFA evaluates through the minimized-DFA product.
+	EngineDFA
+	// EngineCFPQ reduces the regex to a context-free grammar and runs
+	// the multiple-source CFPQ algorithm (Algorithm 2).
+	EngineCFPQ
+	// EngineTensor evaluates through the Kronecker-product RSM engine.
+	EngineTensor
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineNFA:
+		return "nfa"
+	case EngineDFA:
+		return "dfa"
+	case EngineCFPQ:
+		return "cfpq"
+	case EngineTensor:
+		return "tensor"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// Options tunes query execution. The zero value means: background
+// context, no timeout, unlimited budget, serial CSR kernels.
+type Options struct {
+	// Ctx cancels the query when done; nil means context.Background().
+	Ctx context.Context
+	// Timeout bounds wall-clock execution; 0 means no timeout. Applied
+	// on top of Ctx when a Run starts.
+	Timeout time.Duration
+	// Budget bounds the total work a query may perform, measured in
+	// relation entries produced across fixpoint iterations
+	// (iterations × nnz); 0 means unlimited.
+	Budget int64
+	// Workers is the number of goroutines used for large matrix
+	// multiplications; 0 or 1 means serial.
+	Workers int
+	// Hybrid switches multiplication kernels by operand density
+	// (matrix.MulHybrid), which pays off when relations densify during
+	// the fixpoint (deep hierarchies like go-hierarchy).
+	Hybrid bool
+	// Engine selects the RPQ evaluation engine (rpq.Eval).
+	Engine Engine
+
+	// run, when set by WithRun, shares an existing governor (and its
+	// context and budget accounting) instead of starting a fresh one —
+	// how the plan layer threads one per-query budget through nested
+	// CFPQ resolutions.
+	run *Run
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithContext attaches a cancellation context to the query.
+func WithContext(ctx context.Context) Option { return func(o *Options) { o.Ctx = ctx } }
+
+// WithTimeout bounds the query's wall-clock execution time.
+func WithTimeout(d time.Duration) Option { return func(o *Options) { o.Timeout = d } }
+
+// WithBudget bounds the query's total work (relation entries produced
+// across fixpoint iterations). Exceeding it aborts with ErrBudget.
+func WithBudget(n int64) Option { return func(o *Options) { o.Budget = n } }
+
+// WithWorkers sets the multiplication parallelism.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithHybridKernels enables density-based kernel switching.
+func WithHybridKernels() Option { return func(o *Options) { o.Hybrid = true } }
+
+// WithEngine selects the RPQ evaluation engine.
+func WithEngine(e Engine) Option { return func(o *Options) { o.Engine = e } }
+
+// WithRun shares an existing governor: the query joins r's context and
+// budget accounting instead of starting its own. Kernel settings
+// (workers, hybrid) are inherited from r as well.
+func WithRun(r *Run) Option { return func(o *Options) { o.run = r } }
+
+// Build folds a list of options into an Options value.
+func Build(opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
+// Apply folds additional options on top of an existing Options value —
+// how per-query overrides layer over per-index or per-server defaults.
+func (o Options) Apply(opts []Option) Options {
+	for _, fn := range opts {
+		if fn != nil {
+			fn(&o)
+		}
+	}
+	return o
+}
+
+// Start materializes the options into a Run governor. The returned
+// cancel function must be called when the query finishes (it releases
+// the timeout timer); it is a no-op for shared runs.
+func (o Options) Start() (*Run, context.CancelFunc) {
+	if o.run != nil {
+		return o.run, func() {}
+	}
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := context.CancelFunc(func() {})
+	if o.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+	}
+	r := &Run{ctx: ctx, workers: o.Workers, hybrid: o.Hybrid, budget: o.Budget}
+	return r, cancel
+}
+
+// Run is the per-query governor: it carries the cancellation context,
+// tracks the work spent against the budget, and selects multiplication
+// kernels. A Run may be shared across the layers of one query (plan
+// operators, CFPQ resolution, matrix kernels); the spent counter is
+// atomic so parallel kernels can charge it.
+type Run struct {
+	ctx     context.Context
+	workers int
+	hybrid  bool
+	budget  int64 // 0 = unlimited
+	spent   atomic.Int64
+}
+
+// NewRun builds a governor directly from a context (no timeout, no
+// budget) — a convenience for call sites that only need cancellation.
+func NewRun(ctx context.Context) *Run {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Run{ctx: ctx}
+}
+
+// Ctx returns the run's cancellation context (never nil).
+func (r *Run) Ctx() context.Context {
+	if r == nil || r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
+}
+
+// Spent returns the work charged so far.
+func (r *Run) Spent() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.spent.Load()
+}
+
+// Err reports why the query must stop: the context's error if it is
+// done, ErrBudget if the budget is exhausted, nil otherwise. Nil
+// receivers (ungoverned runs) always return nil, so call sites can
+// thread an optional governor without guards.
+func (r *Run) Err() error {
+	if r == nil {
+		return nil
+	}
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if r.budget > 0 && r.spent.Load() > r.budget {
+		return ErrBudget
+	}
+	return nil
+}
+
+// Charge adds n units of work (relation entries produced) and reports
+// ErrBudget once the cumulative total exceeds the budget.
+func (r *Run) Charge(n int) error {
+	if r == nil {
+		return nil
+	}
+	if n > 0 {
+		r.spent.Add(int64(n))
+	}
+	return r.Err()
+}
+
+// Closure is the governed transitive closure: cancellation is checked
+// between the row blocks of every squaring round, and the closure's
+// entry count is charged against the budget.
+func (r *Run) Closure(a *matrix.Bool) (*matrix.Bool, error) {
+	if r == nil {
+		return matrix.TransitiveClosure(a), nil
+	}
+	m, err := matrix.TransitiveClosureCtx(r.Ctx(), a)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Charge(m.NVals()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Mul is the governed Boolean matrix multiplication: it selects the
+// kernel from the run's settings, checks cancellation between row
+// blocks, and charges the product's entry count against the budget.
+func (r *Run) Mul(a, b *matrix.Bool) (*matrix.Bool, error) {
+	if r == nil {
+		return matrix.Mul(a, b), nil
+	}
+	var (
+		m   *matrix.Bool
+		err error
+	)
+	switch {
+	case r.hybrid:
+		m, err = matrix.MulHybridCtx(r.ctx, a, b)
+	case r.workers > 1:
+		m, err = matrix.MulParCtx(r.ctx, a, b, r.workers)
+	default:
+		m, err = matrix.MulCtx(r.ctx, a, b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Charge(m.NVals()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

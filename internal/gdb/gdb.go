@@ -6,11 +6,13 @@
 package gdb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"mscfpq/internal/cypher"
+	"mscfpq/internal/exec"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/plan"
 )
@@ -20,6 +22,9 @@ import (
 type DB struct {
 	mu     sync.RWMutex
 	graphs map[string]*GraphStore
+
+	polMu  sync.RWMutex
+	policy Policy
 }
 
 // New returns an empty database.
@@ -169,20 +174,10 @@ func (db *DB) List() []string {
 
 // Query parses and executes a statement against the named graph.
 // CREATE statements create the graph on first use; MATCH statements
-// require it to exist.
+// require it to exist. The database policy (timeouts, budget) applies;
+// use QueryContext to additionally bound the query by a caller context.
 func (db *DB) Query(name, src string) (*QueryResult, error) {
-	q, err := cypher.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	if q.Create != nil {
-		return db.runCreate(name, q)
-	}
-	s, err := db.Get(name)
-	if err != nil {
-		return nil, err
-	}
-	return s.runMatch(q)
+	return db.QueryContext(context.Background(), name, src)
 }
 
 // Explain parses and plans a MATCH statement, returning the plan text.
@@ -264,7 +259,7 @@ func (db *DB) Profile(name, src string) ([]string, error) {
 	return plan.RenderProfile(entries), nil
 }
 
-func (s *GraphStore) runMatch(q *cypher.Query) (*QueryResult, error) {
+func (s *GraphStore) runMatch(q *cypher.Query, opts ...exec.Option) (*QueryResult, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ctx, err := s.pathCtxFor(q)
@@ -276,7 +271,7 @@ func (s *GraphStore) runMatch(q *cypher.Query) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rs, err := p.Execute()
+	rs, err := p.ExecuteWith(opts...)
 	if err != nil {
 		return nil, err
 	}

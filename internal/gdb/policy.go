@@ -1,0 +1,91 @@
+package gdb
+
+import (
+	"context"
+	"errors"
+	"log"
+	"time"
+
+	"mscfpq/internal/cypher"
+	"mscfpq/internal/exec"
+)
+
+// Policy is the server-side query governance configuration: limits
+// applied to every statement unless the statement overrides them (a
+// Cypher TIMEOUT clause tightens or loosens the timeout for one query).
+type Policy struct {
+	// DefaultTimeout bounds each query's wall-clock execution; 0 means
+	// no default (a per-query TIMEOUT clause still applies).
+	DefaultTimeout time.Duration
+	// MaxWork bounds each query's work budget (relation entries
+	// produced across fixpoint iterations); 0 means unlimited.
+	MaxWork int64
+	// SlowQuery is the duration at or above which a completed query is
+	// written to the slow-query log; 0 disables slow logging (aborted
+	// queries are still logged).
+	SlowQuery time.Duration
+	// Log receives structured slow-query and aborted-query lines; nil
+	// disables logging.
+	Log *log.Logger
+}
+
+// SetPolicy installs the governance policy for subsequent queries.
+func (db *DB) SetPolicy(p Policy) {
+	db.polMu.Lock()
+	defer db.polMu.Unlock()
+	db.policy = p
+}
+
+// Policy returns the current governance policy.
+func (db *DB) Policy() Policy {
+	db.polMu.RLock()
+	defer db.polMu.RUnlock()
+	return db.policy
+}
+
+// QueryContext parses and executes a statement against the named graph
+// under the caller's context and the database policy. The effective
+// timeout is the statement's TIMEOUT clause if present, the policy
+// default otherwise; the policy's work budget always applies. Queries
+// aborted by the governor return context.Canceled,
+// context.DeadlineExceeded, or exec.ErrBudget.
+func (db *DB) QueryContext(ctx context.Context, name, src string) (*QueryResult, error) {
+	q, err := cypher.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	pol := db.Policy()
+	if q.Create != nil {
+		// Writes are single-pass over the pattern list — no fixpoint to
+		// govern; honor an already-cancelled context and run.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return db.runCreate(name, q)
+	}
+	s, err := db.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	timeout := pol.DefaultTimeout
+	if q.TimeoutMS > 0 {
+		timeout = time.Duration(q.TimeoutMS) * time.Millisecond
+	}
+	run, cancel := exec.Options{Ctx: ctx, Timeout: timeout, Budget: pol.MaxWork}.Start()
+	defer cancel()
+
+	start := time.Now()
+	res, err := s.runMatch(q, exec.WithRun(run))
+	elapsed := time.Since(start)
+	aborted := err != nil && (errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, exec.ErrBudget))
+	if pol.Log != nil && (aborted || (pol.SlowQuery > 0 && elapsed >= pol.SlowQuery)) {
+		status := "slow"
+		if aborted {
+			status = "aborted"
+		}
+		pol.Log.Printf("slow-query status=%s graph=%q duration=%s timeout=%s work=%d budget=%d err=%v query=%q",
+			status, name, elapsed.Round(time.Microsecond), timeout, run.Spent(), pol.MaxWork, err, src)
+	}
+	return res, err
+}

@@ -1,0 +1,140 @@
+package gdb
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log"
+	"strings"
+	"testing"
+	"time"
+
+	"mscfpq/internal/exec"
+	"mscfpq/internal/graph"
+)
+
+// heavyStore returns a DB with a two-cycle graph whose a^n b^n query
+// keeps the CFPQ fixpoint busy long enough for governance to bite.
+func heavyDB(t *testing.T, p int) *DB {
+	t.Helper()
+	g := graph.New(2 * p)
+	for i := 0; i < p; i++ {
+		g.AddEdge(i, "a", (i+1)%p)
+	}
+	prev := 0
+	for i := 0; i < p-2; i++ {
+		g.AddEdge(prev, "b", p+i)
+		prev = p + i
+	}
+	g.AddEdge(prev, "b", 0)
+	db := New()
+	db.AddGraph("g", g)
+	return db
+}
+
+const anbnQuery = `
+	PATH PATTERN S = ()-/ [:a ~S :b] | [:a :b] /->()
+	MATCH (v)-/ ~S /->(to) RETURN v, to`
+
+func TestQueryContextCancelled(t *testing.T) {
+	db := heavyDB(t, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, "g", anbnQuery); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// CREATE honors the context too.
+	if _, err := db.QueryContext(ctx, "g", "CREATE (:L)"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("create err = %v, want context.Canceled", err)
+	}
+	// The same statements succeed with a live context.
+	if _, err := db.QueryContext(context.Background(), "g", anbnQuery); err != nil {
+		t.Fatalf("live query: %v", err)
+	}
+}
+
+func TestPolicyDefaultTimeout(t *testing.T) {
+	db := heavyDB(t, 700)
+	db.SetPolicy(Policy{DefaultTimeout: time.Millisecond})
+	start := time.Now()
+	_, err := db.Query("g", anbnQuery)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("aborted query took %v", elapsed)
+	}
+}
+
+func TestTimeoutClauseOverridesPolicy(t *testing.T) {
+	db := heavyDB(t, 12)
+	// A policy timeout too small to finish, loosened per query by the
+	// TIMEOUT clause.
+	db.SetPolicy(Policy{DefaultTimeout: time.Nanosecond})
+	if _, err := db.Query("g", anbnQuery); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("policy timeout did not fire: %v", err)
+	}
+	res, err := db.Query("g", anbnQuery+" TIMEOUT 60000")
+	if err != nil {
+		t.Fatalf("loosened query failed: %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("loosened query returned no rows")
+	}
+}
+
+func TestPolicyMaxWork(t *testing.T) {
+	db := heavyDB(t, 60)
+	db.SetPolicy(Policy{MaxWork: 3})
+	if _, err := db.Query("g", anbnQuery); !errors.Is(err, exec.ErrBudget) {
+		t.Fatalf("err = %v, want exec.ErrBudget", err)
+	}
+	// Lifting the budget restores service.
+	db.SetPolicy(Policy{})
+	if _, err := db.Query("g", anbnQuery); err != nil {
+		t.Fatalf("ungoverned query failed: %v", err)
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	db := heavyDB(t, 60)
+	var buf bytes.Buffer
+	db.SetPolicy(Policy{MaxWork: 3, Log: log.New(&buf, "", 0)})
+	if _, err := db.Query("g", anbnQuery); err == nil {
+		t.Fatal("expected budget abort")
+	}
+	line := buf.String()
+	for _, want := range []string{"status=aborted", `graph="g"`, "budget=3", "work="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("log line %q missing %q", line, want)
+		}
+	}
+
+	// A completed query at or above the SlowQuery threshold is logged as
+	// slow; fast queries are not logged at all.
+	buf.Reset()
+	db.SetPolicy(Policy{SlowQuery: time.Nanosecond, Log: log.New(&buf, "", 0)})
+	if _, err := db.Query("g", anbnQuery); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "status=slow") {
+		t.Fatalf("slow log missing: %q", buf.String())
+	}
+	buf.Reset()
+	db.SetPolicy(Policy{Log: log.New(&buf, "", 0)})
+	if _, err := db.Query("g", anbnQuery); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("unexpected log output: %q", buf.String())
+	}
+}
+
+func TestPolicyRoundTrip(t *testing.T) {
+	db := New()
+	p := Policy{DefaultTimeout: time.Second, MaxWork: 99, SlowQuery: time.Minute}
+	db.SetPolicy(p)
+	if got := db.Policy(); got != p {
+		t.Fatalf("Policy() = %+v, want %+v", got, p)
+	}
+}

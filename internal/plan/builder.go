@@ -6,6 +6,7 @@ import (
 
 	"mscfpq/internal/algebra"
 	"mscfpq/internal/cypher"
+	"mscfpq/internal/exec"
 )
 
 // Plan is a compiled, executable query plan.
@@ -13,6 +14,7 @@ type Plan struct {
 	root    Operation
 	Columns []string
 	ctx     *PathCtx
+	env     *Env
 	slots   map[string]int
 }
 
@@ -267,7 +269,7 @@ func BuildWithCtx(q *cypher.Query, env *Env, ctx *PathCtx) (*Plan, error) {
 		root = NewPaginate(root, q.Return.Skip, q.Return.Limit)
 	}
 
-	return &Plan{root: root, Columns: names, ctx: ctx, slots: slots}, nil
+	return &Plan{root: root, Columns: names, ctx: ctx, env: env, slots: slots}, nil
 }
 
 func mulVertexLabel(e algebra.Expr, label string) algebra.Expr {
@@ -297,13 +299,37 @@ func reverseChain(chain []QGEdge) []QGEdge {
 	return out
 }
 
-// Execute runs the plan to completion.
-func (p *Plan) Execute() (*ResultSet, error) {
+// Execute runs the plan to completion, ungoverned.
+func (p *Plan) Execute() (*ResultSet, error) { return p.ExecuteWith() }
+
+// executeCheckRecords is how many records the pull loop emits between
+// governor checks (operator-internal work is governed separately
+// through the environment's Run).
+const executeCheckRecords = 256
+
+// ExecuteWith runs the plan to completion under execution options: the
+// context, timeout, and budget govern every operator pull, expression
+// evaluation, and nested multiple-source resolution of this execution.
+func (p *Plan) ExecuteWith(opts ...exec.Option) (*ResultSet, error) {
+	run, cancel := exec.Build(opts).Start()
+	defer cancel()
+	if p.env != nil {
+		p.env.Run = run
+		defer func() { p.env.Run = nil }()
+	}
+	if err := run.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.root.Open(); err != nil {
 		return nil, err
 	}
 	rs := &ResultSet{Columns: p.Columns}
-	for {
+	for pulled := 0; ; pulled++ {
+		if pulled%executeCheckRecords == 0 {
+			if err := run.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rec, err := p.root.Next()
 		if err != nil {
 			return nil, err

@@ -9,6 +9,7 @@ import (
 	"mscfpq/internal/algebra"
 	"mscfpq/internal/cfpq"
 	"mscfpq/internal/cypher"
+	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
@@ -123,8 +124,9 @@ func (ctx *PathCtx) noteRefSources(name string, src *matrix.Vector) {
 }
 
 // resolvePending runs the multiple-source engine for all buffered
-// sources; reports whether anything new was computed.
-func (ctx *PathCtx) resolvePending() (bool, error) {
+// sources under the given governor (nil = ungoverned); reports whether
+// anything new was computed.
+func (ctx *PathCtx) resolvePending(run *exec.Run) (bool, error) {
 	if len(ctx.pending) == 0 {
 		return false, nil
 	}
@@ -136,7 +138,7 @@ func (ctx *PathCtx) resolvePending() (bool, error) {
 		}
 		// Skip sources the index already processed.
 		fresh := src.Clone()
-		fresh.DiffInPlace(matrix.DiagVector(ctx.idx.TSrc[id]))
+		fresh.DiffInPlace(ctx.idx.ProcessedSources(id))
 		if !fresh.Empty() {
 			byNT[id] = fresh
 		}
@@ -145,7 +147,7 @@ func (ctx *PathCtx) resolvePending() (bool, error) {
 	if len(byNT) == 0 {
 		return false, nil
 	}
-	if _, err := ctx.idx.MultiSourceSmartFrom(byNT); err != nil {
+	if _, err := ctx.idx.MultiSourceSmartFrom(byNT, exec.WithRun(run)); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -158,12 +160,19 @@ func (ctx *PathCtx) resolvePending() (bool, error) {
 func (ctx *PathCtx) EvalResolved(expr algebra.Expr, env algebra.Env) (*matrix.Bool, error) {
 	ctx.mu.Lock()
 	defer ctx.mu.Unlock()
+	// The environment's governor (if any) also drives the nested
+	// multiple-source resolutions, so one per-query context and budget
+	// covers expression evaluation and index growth alike.
+	var run *exec.Run
+	if g, ok := env.(algebra.Governed); ok {
+		run = g.ExecRun()
+	}
 	for {
 		m, err := algebra.Eval(expr, env)
 		if err != nil {
 			return nil, err
 		}
-		progressed, err := ctx.resolvePending()
+		progressed, err := ctx.resolvePending(run)
 		if err != nil {
 			return nil, err
 		}
@@ -180,6 +189,11 @@ type Env struct {
 	Ctx   *PathCtx
 	Props PropStore // may be nil: property predicates then fail
 
+	// Run is the per-query execution governor; nil evaluates
+	// ungoverned. Plan.ExecuteWith installs it for the duration of one
+	// execution.
+	Run *exec.Run
+
 	anyEdge *matrix.Bool // cached union adjacency
 }
 
@@ -194,6 +208,9 @@ type PropStore interface {
 func NewEnv(g *graph.Graph, ctx *PathCtx, props PropStore) *Env {
 	return &Env{G: g, Ctx: ctx, Props: props}
 }
+
+// ExecRun implements algebra.Governed.
+func (e *Env) ExecRun() *exec.Run { return e.Run }
 
 // Vertices implements algebra.Env.
 func (e *Env) Vertices() int { return e.G.NumVertices() }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"mscfpq/internal/exec"
 )
 
 // ProfileEntry is one operation's measured contribution to a query.
@@ -50,7 +52,7 @@ func (p *Project) setChild(op Operation)  { p.child = op }
 // returns the rows plus one profile entry per operation, root first
 // (the database exposes this as GRAPH.PROFILE). The plan is mutated by
 // the instrumentation and remains instrumented afterwards.
-func (p *Plan) ExecuteProfiled() (*ResultSet, []ProfileEntry, error) {
+func (p *Plan) ExecuteProfiled(opts ...exec.Option) (*ResultSet, []ProfileEntry, error) {
 	// Collect the (linear) chain root -> leaf.
 	var chain []Operation
 	for op := p.root; op != nil; op = op.Child() {
@@ -70,7 +72,7 @@ func (p *Plan) ExecuteProfiled() (*ResultSet, []ProfileEntry, error) {
 	}
 	p.root = wrapped[0]
 
-	rs, err := p.Execute()
+	rs, err := p.ExecuteWith(opts...)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -2,6 +2,7 @@ package resp
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -21,12 +22,22 @@ type Server struct {
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
+	draining bool
 	shutdown bool
+
+	// inflight counts commands between dispatch and reply flush; Shutdown
+	// drains it before closing connections.
+	inflight sync.WaitGroup
+	// baseCtx parents every query's context; cancelled when a drain
+	// times out (or on hard Close) to abort in-flight fixpoints.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 }
 
 // NewServer wraps a database.
 func NewServer(db *gdb.DB) *Server {
-	return &Server{DB: db, conns: map[net.Conn]struct{}{}}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{DB: db, conns: map[net.Conn]struct{}{}, baseCtx: ctx, baseCancel: cancel}
 }
 
 // Listen binds the address and returns the bound address (useful with
@@ -54,7 +65,7 @@ func (s *Server) Serve() error {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			down := s.shutdown
+			down := s.shutdown || s.draining
 			s.mu.Unlock()
 			if down {
 				return nil
@@ -76,8 +87,11 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve()
 }
 
-// Close stops accepting and closes open connections.
+// Close stops the server immediately: in-flight queries are cancelled,
+// the listener and every open connection are closed. Use Shutdown for a
+// graceful stop that drains in-flight queries first.
 func (s *Server) Close() {
+	s.baseCancel()
 	s.mu.Lock()
 	s.shutdown = true
 	if s.ln != nil {
@@ -87,6 +101,50 @@ func (s *Server) Close() {
 		c.Close()
 	}
 	s.mu.Unlock()
+}
+
+// Shutdown stops the server gracefully: it stops accepting connections,
+// waits for in-flight commands to finish and their replies to be
+// flushed, then closes the remaining (idle) connections. If ctx expires
+// before the drain completes, in-flight queries are cancelled through
+// the execution governor, connections are force-closed, and the drain
+// error is returned — the only case in which Shutdown is non-nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.shutdown || s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain timed out: abort the governed queries so their
+		// goroutines unwind promptly, then force-close below.
+		s.baseCancel()
+		drainErr = fmt.Errorf("resp: shutdown drain: %w", ctx.Err())
+	}
+
+	s.mu.Lock()
+	s.shutdown = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	return drainErr
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -117,14 +175,24 @@ func (s *Server) handle(conn net.Conn) {
 			_ = w.Flush()
 			return
 		}
+		// Register the command with the drain group before dispatching;
+		// commands arriving after a drain started are refused.
+		s.mu.Lock()
+		if s.draining || s.shutdown {
+			s.mu.Unlock()
+			_ = Write(w, Errorf("server is shutting down"))
+			_ = w.Flush()
+			return
+		}
+		s.inflight.Add(1)
+		s.mu.Unlock()
 		reply, quit := s.dispatch(args)
-		if err := Write(w, reply); err != nil {
-			return
+		werr := Write(w, reply)
+		if werr == nil {
+			werr = w.Flush()
 		}
-		if err := w.Flush(); err != nil {
-			return
-		}
-		if quit {
+		s.inflight.Done()
+		if werr != nil || quit {
 			return
 		}
 	}
@@ -179,7 +247,7 @@ func (s *Server) dispatch(args []string) (reply Value, quit bool) {
 		if len(args) != 3 {
 			return Errorf("usage: GRAPH.QUERY <graph> <query>"), false
 		}
-		res, err := s.DB.Query(args[1], args[2])
+		res, err := s.DB.QueryContext(s.baseCtx, args[1], args[2])
 		if err != nil {
 			return Errorf("%v", err), false
 		}

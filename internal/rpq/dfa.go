@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"mscfpq/internal/exec"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
 )
@@ -190,10 +191,12 @@ func (d *DFA) AcceptsWord(word []string) bool {
 // EvalPairsDFA answers a multiple-source regular path query through the
 // deterministic automaton: one reachability matrix per DFA state,
 // R_t += R_s * G^l per transition, no epsilon fixpoint interleaving.
-func EvalPairsDFA(g *graph.Graph, d *DFA, src *matrix.Vector) (*matrix.Bool, error) {
+func EvalPairsDFA(g *graph.Graph, d *DFA, src *matrix.Vector, opts ...exec.Option) (*matrix.Bool, error) {
 	if g == nil || d == nil {
 		return nil, fmt.Errorf("rpq: nil graph or DFA")
 	}
+	run, cancel := exec.Build(opts).Start()
+	defer cancel()
 	nv := g.NumVertices()
 	if src == nil || src.Size() != nv {
 		return nil, fmt.Errorf("rpq: source vector size mismatch (graph has %d vertices)", nv)
@@ -223,7 +226,11 @@ func EvalPairsDFA(g *graph.Graph, d *DFA, src *matrix.Vector) (*matrix.Bool, err
 				if t < 0 || r[s].NVals() == 0 {
 					continue
 				}
-				if matrix.AddInPlace(r[t], matrix.Mul(r[s], gm)) {
+				prod, err := run.Mul(r[s], gm)
+				if err != nil {
+					return nil, err
+				}
+				if matrix.AddInPlace(r[t], prod) {
 					changed = true
 				}
 			}

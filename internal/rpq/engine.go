@@ -1,0 +1,70 @@
+package rpq
+
+import (
+	"fmt"
+
+	"mscfpq/internal/cfpq"
+	"mscfpq/internal/exec"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+	"mscfpq/internal/rsm"
+)
+
+// Eval is the single entry point over the library's four RPQ engines:
+// it compiles the regular expression and answers the multiple-source
+// query with pair semantics through the engine selected by
+// exec.WithEngine. All engines agree on the answer; they differ in how
+// they compute it:
+//
+//   - exec.EngineNFA: the Thompson NFA product (one reachability matrix
+//     per NFA state, epsilon fixpoint interleaved);
+//   - exec.EngineDFA (the EngineAuto default): the minimized-DFA
+//     product, the fastest evaluator here;
+//   - exec.EngineCFPQ: reduction to a right-linear grammar evaluated by
+//     the multiple-source CFPQ algorithm (Algorithm 2), demonstrating
+//     that regular queries are a partial case of CFPQ;
+//   - exec.EngineTensor: the Kronecker-product RSM engine, the unified
+//     RPQ/CFPQ evaluator of the paper's conclusion.
+//
+// Context, timeout, budget, and kernel options apply to every engine.
+func Eval(g *graph.Graph, query string, src *matrix.Vector, opts ...exec.Option) (*matrix.Bool, error) {
+	if g == nil {
+		return nil, fmt.Errorf("rpq: nil graph")
+	}
+	if src == nil || src.Size() != g.NumVertices() {
+		return nil, fmt.Errorf("rpq: source vector size mismatch (graph has %d vertices)", g.NumVertices())
+	}
+	n, err := CompileRegex(query)
+	if err != nil {
+		return nil, err
+	}
+	switch e := exec.Build(opts).Engine; e {
+	case exec.EngineNFA:
+		return EvalPairs(g, n, src, opts...)
+	case exec.EngineAuto, exec.EngineDFA:
+		return EvalPairsDFA(g, Determinize(n).Minimize(), src, opts...)
+	case exec.EngineCFPQ:
+		w, err := grammar.ToWCNF(ToGrammar(n))
+		if err != nil {
+			return nil, err
+		}
+		res, err := cfpq.MultiSource(g, w, src, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return res.Answer(), nil
+	case exec.EngineTensor:
+		machine, err := rsm.FromGrammar(ToGrammar(n))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := machine.Eval(g, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return matrix.ExtractRows(rel, src), nil
+	default:
+		return nil, fmt.Errorf("rpq: unknown engine %s", e)
+	}
+}

@@ -1,0 +1,71 @@
+package rpq
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mscfpq/internal/exec"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+)
+
+func engineGraph() *graph.Graph {
+	g := graph.New(8)
+	for i := 0; i < 7; i++ {
+		g.AddEdge(i, "a", i+1)
+	}
+	g.AddEdge(7, "b", 0)
+	g.AddEdge(3, "b", 5)
+	return g
+}
+
+var allEngines = []exec.Engine{
+	exec.EngineAuto, exec.EngineNFA, exec.EngineDFA, exec.EngineCFPQ, exec.EngineTensor,
+}
+
+func TestEvalEnginesAgree(t *testing.T) {
+	g := engineGraph()
+	src := matrix.NewVectorFromIndices(g.NumVertices(), []int{0, 3})
+	for _, query := range []string{"a+", "a* b", "a a b?"} {
+		var want *matrix.Bool
+		for _, e := range allEngines {
+			got, err := Eval(g, query, src, exec.WithEngine(e))
+			if err != nil {
+				t.Fatalf("%q engine %s: %v", query, e, err)
+			}
+			if want == nil {
+				want = got
+			} else if !got.Equal(want) {
+				t.Fatalf("%q engine %s disagrees with %s", query, e, allEngines[0])
+			}
+		}
+	}
+}
+
+func TestEvalValidatesInputs(t *testing.T) {
+	g := engineGraph()
+	src := matrix.NewVectorFromIndices(g.NumVertices(), []int{0})
+	if _, err := Eval(nil, "a", src); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Eval(g, "a", nil); err == nil {
+		t.Fatal("nil sources accepted")
+	}
+	if _, err := Eval(g, "a (", src); err == nil {
+		t.Fatal("bad regex accepted")
+	}
+}
+
+func TestEvalCancelledContext(t *testing.T) {
+	g := engineGraph()
+	src := matrix.NewVectorFromIndices(g.NumVertices(), []int{0})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range allEngines {
+		_, err := Eval(g, "a+ b", src, exec.WithEngine(e), exec.WithContext(ctx))
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("engine %s: err = %v, want context.Canceled", e, err)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package rpq
 import (
 	"fmt"
 
+	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
@@ -17,10 +18,12 @@ import (
 // matrix R_q per NFA state, seeded with diag(src) at the start state and
 // grown by R_q' += R_q * G^l for every transition q -l-> q' until
 // fixpoint. The answer is R_accept restricted to src rows.
-func EvalPairs(g *graph.Graph, n *NFA, src *matrix.Vector) (*matrix.Bool, error) {
+func EvalPairs(g *graph.Graph, n *NFA, src *matrix.Vector, opts ...exec.Option) (*matrix.Bool, error) {
 	if g == nil || n == nil {
 		return nil, fmt.Errorf("rpq: nil graph or NFA")
 	}
+	run, cancel := exec.Build(opts).Start()
+	defer cancel()
 	nv := g.NumVertices()
 	if src == nil || src.Size() != nv {
 		return nil, fmt.Errorf("rpq: source vector size mismatch (graph has %d vertices)", nv)
@@ -57,7 +60,11 @@ func EvalPairs(g *graph.Graph, n *NFA, src *matrix.Vector) (*matrix.Bool, error)
 				if r[tr[0]].NVals() == 0 {
 					continue
 				}
-				if matrix.AddInPlace(r[tr[1]], matrix.Mul(r[tr[0]], gm)) {
+				prod, err := run.Mul(r[tr[0]], gm)
+				if err != nil {
+					return nil, err
+				}
+				if matrix.AddInPlace(r[tr[1]], prod) {
 					changed = true
 				}
 			}
@@ -68,8 +75,8 @@ func EvalPairs(g *graph.Graph, n *NFA, src *matrix.Vector) (*matrix.Bool, error)
 
 // EvalReachable answers the query with set semantics: the vertices
 // reachable from any source by a path in the language.
-func EvalReachable(g *graph.Graph, n *NFA, src *matrix.Vector) (*matrix.Vector, error) {
-	pairs, err := EvalPairs(g, n, src)
+func EvalReachable(g *graph.Graph, n *NFA, src *matrix.Vector, opts ...exec.Option) (*matrix.Vector, error) {
+	pairs, err := EvalPairs(g, n, src, opts...)
 	if err != nil {
 		return nil, err
 	}

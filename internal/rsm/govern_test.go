@@ -1,0 +1,71 @@
+package rsm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mscfpq/internal/exec"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+)
+
+func govGraph(p int) *graph.Graph {
+	g := graph.New(2 * p)
+	for i := 0; i < p; i++ {
+		g.AddEdge(i, "a", (i+1)%p)
+	}
+	prev := 0
+	for i := 0; i < p-2; i++ {
+		g.AddEdge(prev, "b", p+i)
+		prev = p + i
+	}
+	g.AddEdge(prev, "b", 0)
+	return g
+}
+
+func govRSM(t *testing.T) *RSM {
+	t.Helper()
+	r, err := FromGrammar(grammar.AnBn("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTensorCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := govRSM(t)
+	g := govGraph(12)
+	if _, err := r.Eval(g, exec.WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Eval err = %v, want context.Canceled", err)
+	}
+	if _, err := r.TensorAllPairs(g, exec.WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TensorAllPairs err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTensorBudgetAborts(t *testing.T) {
+	r := govRSM(t)
+	g := govGraph(24)
+	if _, err := r.Eval(g, exec.WithBudget(2)); !errors.Is(err, exec.ErrBudget) {
+		t.Fatalf("Eval err = %v, want exec.ErrBudget", err)
+	}
+}
+
+func TestTensorGovernedResultUnchanged(t *testing.T) {
+	r := govRSM(t)
+	g := govGraph(10)
+	want, err := r.Eval(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Eval(g, exec.WithBudget(1<<40), exec.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("governed tensor answer differs from ungoverned")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
@@ -126,10 +127,12 @@ func (r *RSM) Symbols() []string {
 // algorithm suits small-to-medium graphs; it exists as the unified
 // RPQ/CFPQ engine called for by the paper's conclusion, and as an
 // independent oracle for the matrix algorithms.
-func (r *RSM) TensorAllPairs(g *graph.Graph) (map[string]*matrix.Bool, error) {
+func (r *RSM) TensorAllPairs(g *graph.Graph, opts ...exec.Option) (map[string]*matrix.Bool, error) {
 	if g == nil {
 		return nil, fmt.Errorf("rsm: nil graph")
 	}
+	run, cancel := exec.Build(opts).Start()
+	defer cancel()
 	n := g.NumVertices()
 	rel := map[string]*matrix.Bool{}
 	for nt := range r.Nonterms {
@@ -162,7 +165,10 @@ func (r *RSM) TensorAllPairs(g *graph.Graph) (map[string]*matrix.Bool, error) {
 			}
 			matrix.AddInPlace(m, matrix.Kron(tm, gm))
 		}
-		closure := matrix.TransitiveClosure(m)
+		closure, err := run.Closure(m)
+		if err != nil {
+			return nil, err
+		}
 
 		changed := false
 		for nt := range r.Nonterms {
@@ -194,8 +200,8 @@ func (r *RSM) TensorAllPairs(g *graph.Graph) (map[string]*matrix.Bool, error) {
 }
 
 // Eval evaluates the query and returns the start-nonterminal relation.
-func (r *RSM) Eval(g *graph.Graph) (*matrix.Bool, error) {
-	rel, err := r.TensorAllPairs(g)
+func (r *RSM) Eval(g *graph.Graph, opts ...exec.Option) (*matrix.Bool, error) {
+	rel, err := r.TensorAllPairs(g, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -25,6 +25,7 @@ package mscfpq
 import (
 	"mscfpq/internal/cfpq"
 	"mscfpq/internal/dataset"
+	"mscfpq/internal/exec"
 	"mscfpq/internal/gdb"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
@@ -32,6 +33,58 @@ import (
 	"mscfpq/internal/resp"
 	"mscfpq/internal/rpq"
 	"mscfpq/internal/rsm"
+)
+
+// Execution governance. Every query entry point accepts functional
+// options controlling cancellation, resource budgets and kernel choice:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, err := mscfpq.MultiSource(g, w, src,
+//		mscfpq.WithContext(ctx),
+//		mscfpq.WithBudget(1_000_000))
+//
+// A governed query returns context.Canceled / context.DeadlineExceeded
+// when its context fires, or ErrBudget when it exceeds its work budget
+// (cumulative relation entries produced across fixpoint iterations).
+type (
+	// Option configures one query execution.
+	Option = exec.Option
+	// Engine selects the evaluation strategy of EvalRPQ.
+	Engine = exec.Engine
+)
+
+var (
+	// WithContext bounds the query by a caller context.
+	WithContext = exec.WithContext
+	// WithTimeout bounds the query by a wall-clock duration.
+	WithTimeout = exec.WithTimeout
+	// WithBudget bounds the query's work (relation entries produced).
+	WithBudget = exec.WithBudget
+	// WithWorkers sets the matrix-kernel parallelism (0 = sequential).
+	WithWorkers = exec.WithWorkers
+	// WithHybridKernels enables density-adaptive multiplication kernels.
+	WithHybridKernels = exec.WithHybridKernels
+	// WithEngine selects the RPQ evaluation engine (see EvalRPQ).
+	WithEngine = exec.WithEngine
+
+	// ErrBudget is returned when a query exceeds its work budget.
+	ErrBudget = exec.ErrBudget
+)
+
+// RPQ engines for WithEngine.
+const (
+	// EngineAuto picks the default engine (minimized DFA).
+	EngineAuto = exec.EngineAuto
+	// EngineNFA simulates the compiled NFA directly.
+	EngineNFA = exec.EngineNFA
+	// EngineDFA determinizes and minimizes first (usually fastest).
+	EngineDFA = exec.EngineDFA
+	// EngineCFPQ reduces the regex to a context-free grammar and runs
+	// the multiple-source CFPQ algorithm.
+	EngineCFPQ = exec.EngineCFPQ
+	// EngineTensor runs the Kronecker-product RSM algorithm.
+	EngineTensor = exec.EngineTensor
 )
 
 // Core data model.
@@ -133,43 +186,67 @@ func NewVertexSet(n int, ids ...int) *VertexSet {
 }
 
 // AllPairs runs Azimov's all-pairs CFPQ algorithm (Algorithm 1).
-func AllPairs(g *Graph, w *WCNF) (*Result, error) { return cfpq.AllPairs(g, w) }
+func AllPairs(g *Graph, w *WCNF, opts ...Option) (*Result, error) {
+	return cfpq.AllPairs(g, w, opts...)
+}
 
 // MultiSource runs the paper's multiple-source algorithm (Algorithm 2).
-func MultiSource(g *Graph, w *WCNF, src *VertexSet) (*MSResult, error) {
-	return cfpq.MultiSource(g, w, src)
+func MultiSource(g *Graph, w *WCNF, src *VertexSet, opts ...Option) (*MSResult, error) {
+	return cfpq.MultiSource(g, w, src, opts...)
 }
 
 // NewIndex builds the cross-query cache for the optimized
 // multiple-source algorithm (Algorithm 3); query it with
-// Index.MultiSourceSmart.
-func NewIndex(g *Graph, w *WCNF) (*Index, error) { return cfpq.NewIndex(g, w) }
+// Index.MultiSourceSmart. Options given here become the defaults for
+// every query on the index; per-query options override them.
+func NewIndex(g *Graph, w *WCNF, opts ...Option) (*Index, error) {
+	return cfpq.NewIndex(g, w, opts...)
+}
 
 // SinglePath runs all-pairs CFPQ with single-path semantics; the result
 // reconstructs one witness path per reachability fact.
-func SinglePath(g *Graph, w *WCNF) (*SinglePathResult, error) { return cfpq.SinglePath(g, w) }
+func SinglePath(g *Graph, w *WCNF, opts ...Option) (*SinglePathResult, error) {
+	return cfpq.SinglePath(g, w, opts...)
+}
 
 // MultiSourceSinglePath combines the multiple-source restriction of
 // Algorithm 2 with single-path semantics: only paths from src are
 // computed, and each answer pair can be expanded into a witness path.
-func MultiSourceSinglePath(g *Graph, w *WCNF, src *VertexSet) (*cfpq.MSSinglePathResult, error) {
-	return cfpq.MultiSourceSinglePath(g, w, src)
+func MultiSourceSinglePath(g *Graph, w *WCNF, src *VertexSet, opts ...Option) (*cfpq.MSSinglePathResult, error) {
+	return cfpq.MultiSourceSinglePath(g, w, src, opts...)
 }
 
 // AllPairsSemiNaive is AllPairs with semi-naive (delta) iteration; it
 // wins when the fixpoint runs many rounds (dense, deep hierarchies).
-func AllPairsSemiNaive(g *Graph, w *WCNF) (*Result, error) { return cfpq.AllPairsSemiNaive(g, w) }
+func AllPairsSemiNaive(g *Graph, w *WCNF, opts ...Option) (*Result, error) {
+	return cfpq.AllPairsSemiNaive(g, w, opts...)
+}
 
 // Worklist runs the non-linear-algebra CFL-reachability baseline.
-func Worklist(g *Graph, w *WCNF) (*Result, error) { return cfpq.Worklist(g, w) }
+func Worklist(g *Graph, w *WCNF, opts ...Option) (*Result, error) {
+	return cfpq.Worklist(g, w, opts...)
+}
 
 // CompileRegex compiles a regular path query ("subClassOf+ type?").
 func CompileRegex(src string) (*NFA, error) { return rpq.CompileRegex(src) }
 
+// EvalRPQ answers a multiple-source regular path query, compiling the
+// query string and dispatching to the engine selected by WithEngine
+// (minimized DFA by default). It is the one entry point behind the
+// library's four RPQ engines:
+//
+//	reach, err := mscfpq.EvalRPQ(g, "subClassOf+", src)                     // minimized DFA
+//	reach, err := mscfpq.EvalRPQ(g, "subClassOf+", src,
+//		mscfpq.WithEngine(mscfpq.EngineTensor))                             // Kronecker RSM
+func EvalRPQ(g *Graph, query string, src *VertexSet, opts ...Option) (*BoolMatrix, error) {
+	return rpq.Eval(g, query, src, opts...)
+}
+
 // EvalRegex answers a multiple-source regular path query with pair
-// semantics.
-func EvalRegex(g *Graph, n *NFA, src *VertexSet) (*BoolMatrix, error) {
-	return rpq.EvalPairs(g, n, src)
+// semantics through the compiled NFA (see EvalRPQ for the unified
+// engine-selecting entry point).
+func EvalRegex(g *Graph, n *NFA, src *VertexSet, opts ...Option) (*BoolMatrix, error) {
+	return rpq.EvalPairs(g, n, src, opts...)
 }
 
 // RegexToGrammar reduces a regular query to a context-free grammar so
@@ -182,8 +259,8 @@ func Determinize(n *NFA) *DFA { return rpq.Determinize(n).Minimize() }
 
 // EvalRegexDFA answers a multiple-source regular path query through a
 // deterministic automaton.
-func EvalRegexDFA(g *Graph, d *DFA, src *VertexSet) (*BoolMatrix, error) {
-	return rpq.EvalPairsDFA(g, d, src)
+func EvalRegexDFA(g *Graph, d *DFA, src *VertexSet, opts ...Option) (*BoolMatrix, error) {
+	return rpq.EvalPairsDFA(g, d, src, opts...)
 }
 
 // NewRSM builds the recursive state machine of a grammar for the
