@@ -7,10 +7,10 @@ GO ?= go
 # module.
 RACE_PKGS = ./internal/gdb ./internal/resp ./internal/cfpq ./internal/exec
 
-.PHONY: check all build vet test race race-quick cover bench bench-quick experiments fuzz clean
+.PHONY: check all build vet test race race-quick cover bench bench-quick experiments fuzz diff-test diff-test-slow clean
 
 # Default: what CI runs on every change.
-check: build vet test race
+check: build vet test race diff-test
 
 all: build test
 
@@ -28,6 +28,15 @@ race:
 
 race-quick:
 	$(GO) test -race $(RACE_PKGS)
+
+# Differential suite: every CFPQ/RPQ evaluator against the independent
+# oracle plus the metamorphic invariants (see TESTING.md). The short
+# pass runs under -race; diff-test-slow is the deep seeded sweep.
+diff-test:
+	$(GO) test -race -count=1 ./internal/difftest ./internal/oracle ./internal/gen
+
+diff-test-slow:
+	$(GO) test -tags=slow -count=1 ./internal/difftest
 
 cover:
 	$(GO) test -cover ./...
@@ -49,6 +58,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=30s ./internal/grammar/
 	$(GO) test -run=NONE -fuzz=FuzzRegex -fuzztime=30s ./internal/rpq/
 	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=30s ./internal/resp/
+	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=30s ./internal/graph/
 
 clean:
 	rm -f test_output.txt bench_output.txt

@@ -15,6 +15,11 @@ func FuzzParse(f *testing.F) {
 		`MATCH (v)-/`,
 		`-/ /-> ~ [ ] | < : (`,
 		"MATCH (v {s: 'O\\'Hara'}) RETURN v",
+		// Path patterns over the labels of the checked-in query grammars
+		// (queries/*.txt): G1, Geo, and a^n b^n as GQL-style patterns.
+		`PATH PATTERN S = ()-/ [<:subClassOf ~S :subClassOf] | [<:subClassOf :subClassOf] /->() MATCH (v)-/ ~S /->(u) RETURN v, u`,
+		`PATH PATTERN S = ()-/ [:broaderTransitive ~S <:broaderTransitive] | [:broaderTransitive <:broaderTransitive] /->() MATCH (x)-/ ~S /->(y) RETURN x, y`,
+		`PATH PATTERN S = ()-/ [:a ~S :b] | [:a :b] /->() MATCH (v)-/ ~S /->(u) RETURN count(v)`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,520 @@
+// Package difftest is the differential correctness harness of the
+// module (see TESTING.md): it drives every CFPQ evaluator and every RPQ
+// engine against the independent reference oracles of internal/oracle
+// on instances produced by internal/gen, and checks the metamorphic
+// invariants the paper's algorithms promise. The checks are plain
+// functions returning errors so the same harness serves the standing
+// test suite, the slow-mode sweep (-tags=slow), and ad-hoc repro runs.
+package difftest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mscfpq/internal/cfpq"
+	"mscfpq/internal/exec"
+	"mscfpq/internal/gen"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+	"mscfpq/internal/oracle"
+	"mscfpq/internal/rpq"
+)
+
+// srcVector materializes a source id list as a vector over g's vertices.
+func srcVector(g *graph.Graph, sources []int) *matrix.Vector {
+	v := matrix.NewVector(g.NumVertices())
+	for _, s := range sources {
+		if s >= 0 && s < g.NumVertices() {
+			v.Set(s)
+		}
+	}
+	return v
+}
+
+func pairsEqual(got, want [][2]int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pairsErr(engine string, got, want [][2]int) error {
+	return fmt.Errorf("%s: got %v, want %v", engine, got, want)
+}
+
+// CheckCFPQ runs all six CFPQ evaluators on the instance and compares
+// them against the oracle: the all-pairs engines on every nonterminal
+// relation, the multiple-source engines on the source-restricted start
+// relation (the paper's central claim).
+func CheckCFPQ(inst gen.Instance) error {
+	ref := oracle.CFPQ(inst.G, inst.W)
+	src := srcVector(inst.G, inst.Sources)
+	wantMS := ref.StartPairsFrom(inst.Sources)
+
+	// All-pairs evaluators, checked relation by relation.
+	allPairs := []struct {
+		name string
+		run  func() (*cfpq.Result, error)
+	}{
+		{"AllPairs", func() (*cfpq.Result, error) { return cfpq.AllPairs(inst.G, inst.W) }},
+		{"AllPairsSemiNaive", func() (*cfpq.Result, error) { return cfpq.AllPairsSemiNaive(inst.G, inst.W) }},
+		{"Worklist", func() (*cfpq.Result, error) { return cfpq.Worklist(inst.G, inst.W) }},
+		{"SinglePath", func() (*cfpq.Result, error) {
+			r, err := cfpq.SinglePath(inst.G, inst.W)
+			if err != nil {
+				return nil, err
+			}
+			return r.Result, nil
+		}},
+	}
+	for _, e := range allPairs {
+		r, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %v", e.name, err)
+		}
+		for a := 0; a < inst.W.NumNonterms(); a++ {
+			if got, want := r.T[a].Pairs(), ref.Pairs(a); !pairsEqual(got, want) {
+				return pairsErr(fmt.Sprintf("%s relation %s", e.name, inst.W.Nonterms[a]), got, want)
+			}
+		}
+	}
+
+	// Multiple-source evaluators, checked on the restricted answer.
+	multiSource := []struct {
+		name string
+		run  func() (*matrix.Bool, error)
+	}{
+		{"MultiSource", func() (*matrix.Bool, error) {
+			r, err := cfpq.MultiSource(inst.G, inst.W, src)
+			if err != nil {
+				return nil, err
+			}
+			return r.Answer(), nil
+		}},
+		{"MultiSourceSinglePath", func() (*matrix.Bool, error) {
+			r, err := cfpq.MultiSourceSinglePath(inst.G, inst.W, src)
+			if err != nil {
+				return nil, err
+			}
+			return r.Answer(), nil
+		}},
+		{"Index.MultiSourceSmart", func() (*matrix.Bool, error) {
+			idx, err := cfpq.NewIndex(inst.G, inst.W)
+			if err != nil {
+				return nil, err
+			}
+			r, err := idx.MultiSourceSmart(src)
+			if err != nil {
+				return nil, err
+			}
+			return r.Answer(), nil
+		}},
+		{"WorklistMultiSource", func() (*matrix.Bool, error) {
+			return cfpq.WorklistMultiSource(inst.G, inst.W, src)
+		}},
+	}
+	for _, e := range multiSource {
+		m, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %v", e.name, err)
+		}
+		if got := m.Pairs(); !pairsEqual(got, wantMS) {
+			return pairsErr(e.name, got, wantMS)
+		}
+	}
+	return nil
+}
+
+// CheckRPQ runs the four RPQ engines for the query and compares each
+// against the BFS-product oracle.
+func CheckRPQ(g *graph.Graph, query string, sources []int) error {
+	nfa, err := rpq.CompileRegex(query)
+	if err != nil {
+		return fmt.Errorf("compile %q: %v", query, err)
+	}
+	want := oracle.RPQ(g, nfa, sources)
+	src := srcVector(g, sources)
+	for _, engine := range []exec.Engine{exec.EngineNFA, exec.EngineDFA, exec.EngineCFPQ, exec.EngineTensor} {
+		m, err := rpq.Eval(g, query, src, exec.WithEngine(engine))
+		if err != nil {
+			return fmt.Errorf("engine %v on %q: %v", engine, query, err)
+		}
+		if got := m.Pairs(); !pairsEqual(got, want) {
+			return pairsErr(fmt.Sprintf("engine %v on %q", engine, query), got, want)
+		}
+	}
+	return nil
+}
+
+// CheckChunkUnion asserts the paper's key invariant: splitting the
+// source set into chunks and unioning the per-chunk multiple-source
+// answers yields exactly the source-restricted all-pairs relation.
+func CheckChunkUnion(inst gen.Instance, chunks int) error {
+	if chunks < 1 {
+		chunks = 1
+	}
+	n := inst.G.NumVertices()
+	all, err := cfpq.AllPairs(inst.G, inst.W)
+	if err != nil {
+		return fmt.Errorf("AllPairs: %v", err)
+	}
+	src := srcVector(inst.G, inst.Sources)
+	want := matrix.ExtractRows(all.Start(), src)
+
+	union := matrix.NewBool(n, n)
+	ids := src.Ints()
+	for c := 0; c < chunks; c++ {
+		chunk := matrix.NewVector(n)
+		for i, v := range ids {
+			if i%chunks == c {
+				chunk.Set(v)
+			}
+		}
+		r, err := cfpq.MultiSource(inst.G, inst.W, chunk)
+		if err != nil {
+			return fmt.Errorf("MultiSource chunk %d: %v", c, err)
+		}
+		matrix.AddInPlace(union, r.Answer())
+	}
+	if !union.Equal(want) {
+		return pairsErr(fmt.Sprintf("chunk union (%d chunks)", chunks), union.Pairs(), want.Pairs())
+	}
+	return nil
+}
+
+// CheckIndexReuse asserts that the smart index (Algorithm 3) is
+// order-independent and idempotent: processing source chunks in any
+// order yields the same cache and per-query answers that match the
+// oracle, and re-submitting an already-processed chunk changes nothing.
+func CheckIndexReuse(inst gen.Instance, chunks int) error {
+	if chunks < 1 {
+		chunks = 1
+	}
+	ref := oracle.CFPQ(inst.G, inst.W)
+	n := inst.G.NumVertices()
+	ids := srcVector(inst.G, inst.Sources).Ints()
+	chunkVec := func(c int) *matrix.Vector {
+		v := matrix.NewVector(n)
+		for i, id := range ids {
+			if i%chunks == c {
+				v.Set(id)
+			}
+		}
+		return v
+	}
+
+	runOrder := func(order []int) (*cfpq.Index, error) {
+		idx, err := cfpq.NewIndex(inst.G, inst.W)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range order {
+			v := chunkVec(c)
+			r, err := idx.MultiSourceSmart(v)
+			if err != nil {
+				return nil, fmt.Errorf("chunk %d: %v", c, err)
+			}
+			if got, want := r.Answer().Pairs(), ref.StartPairsFrom(v.Ints()); !pairsEqual(got, want) {
+				return nil, pairsErr(fmt.Sprintf("index chunk %d", c), got, want)
+			}
+		}
+		return idx, nil
+	}
+
+	fwd := make([]int, chunks)
+	rev := make([]int, chunks)
+	for c := 0; c < chunks; c++ {
+		fwd[c] = c
+		rev[c] = chunks - 1 - c
+	}
+	idx1, err := runOrder(fwd)
+	if err != nil {
+		return fmt.Errorf("forward order: %v", err)
+	}
+	idx2, err := runOrder(rev)
+	if err != nil {
+		return fmt.Errorf("reverse order: %v", err)
+	}
+	start := inst.W.Start
+	if !idx1.ProcessedSources(start).Equal(idx2.ProcessedSources(start)) {
+		return fmt.Errorf("processed sources differ across orders: %v vs %v",
+			idx1.ProcessedSources(start).Ints(), idx2.ProcessedSources(start).Ints())
+	}
+	src := srcVector(inst.G, inst.Sources)
+	r1 := matrix.ExtractRows(idx1.Relation(start), src)
+	r2 := matrix.ExtractRows(idx2.Relation(start), src)
+	if !r1.Equal(r2) {
+		return pairsErr("index cache across orders", r1.Pairs(), r2.Pairs())
+	}
+
+	// Idempotence: replaying the full source set changes nothing.
+	before := idx1.Relation(start).Clone()
+	r, err := idx1.MultiSourceSmart(src)
+	if err != nil {
+		return fmt.Errorf("replay: %v", err)
+	}
+	if got, want := r.Answer().Pairs(), ref.StartPairsFrom(inst.Sources); !pairsEqual(got, want) {
+		return pairsErr("index replay answer", got, want)
+	}
+	if !idx1.Relation(start).Equal(before) {
+		return errors.New("replaying processed sources mutated the cached relation")
+	}
+	return nil
+}
+
+// maxReplayPairs caps how many witness paths one instance replays.
+const maxReplayPairs = 64
+
+// CheckPathReplay asserts single-path semantics: every answer pair of
+// the single-path evaluators expands into a step sequence that is a
+// real path of the graph (each step an existing edge or vertex label,
+// steps contiguous from source to destination) whose label word is
+// accepted by the query grammar — i.e. extracted paths replay to valid
+// derivations.
+func CheckPathReplay(inst gen.Instance) error {
+	sp, err := cfpq.SinglePath(inst.G, inst.W)
+	if err != nil {
+		return fmt.Errorf("SinglePath: %v", err)
+	}
+	if err := replayPairs(inst, sp.Pairs(), sp.Path); err != nil {
+		return fmt.Errorf("SinglePath: %v", err)
+	}
+	src := srcVector(inst.G, inst.Sources)
+	msp, err := cfpq.MultiSourceSinglePath(inst.G, inst.W, src)
+	if err != nil {
+		return fmt.Errorf("MultiSourceSinglePath: %v", err)
+	}
+	if err := replayPairs(inst, msp.Answer().Pairs(), msp.Path); err != nil {
+		return fmt.Errorf("MultiSourceSinglePath: %v", err)
+	}
+	return nil
+}
+
+func replayPairs(inst gen.Instance, pairs [][2]int, path func(src, dst int) ([]cfpq.PathStep, error)) error {
+	for i, p := range pairs {
+		if i >= maxReplayPairs {
+			break
+		}
+		steps, err := path(p[0], p[1])
+		if err != nil {
+			return fmt.Errorf("pair %v: %v", p, err)
+		}
+		if err := replay(inst.G, p[0], p[1], steps); err != nil {
+			return fmt.Errorf("pair %v: %v", p, err)
+		}
+		if word := cfpq.Word(steps); !inst.W.Accepts(word) {
+			return fmt.Errorf("pair %v: extracted word %v not accepted by the grammar", p, word)
+		}
+	}
+	return nil
+}
+
+// replay checks that steps form a contiguous src..dst walk over edges
+// and vertex labels that actually exist in g.
+func replay(g *graph.Graph, src, dst int, steps []cfpq.PathStep) error {
+	at := src
+	for _, s := range steps {
+		if s.Src != at {
+			return fmt.Errorf("step %+v starts at %d, expected %d", s, s.Src, at)
+		}
+		if s.VertexLabel {
+			if s.Src != s.Dst {
+				return fmt.Errorf("vertex-label step %+v moves", s)
+			}
+			if !g.HasVertexLabel(s.Src, s.Label) {
+				return fmt.Errorf("step %+v: vertex %d lacks label %q", s, s.Src, s.Label)
+			}
+		} else if !g.HasEdge(s.Src, s.Label, s.Dst) {
+			return fmt.Errorf("step %+v: edge missing from graph", s)
+		}
+		at = s.Dst
+	}
+	if at != dst {
+		return fmt.Errorf("path ends at %d, expected %d", at, dst)
+	}
+	return nil
+}
+
+// CheckGoverned asserts abort soundness: a budgeted or cancelled query
+// either fails with the governance error or returns the exact answer —
+// never a silently wrong partial result. It also verifies that an
+// aborted index query rolls back, leaving the cache able to answer
+// correctly afterwards.
+func CheckGoverned(inst gen.Instance, budget int64) error {
+	ref := oracle.CFPQ(inst.G, inst.W)
+	src := srcVector(inst.G, inst.Sources)
+	wantMS := ref.StartPairsFrom(inst.Sources)
+
+	allowed := func(err error) bool {
+		return errors.Is(err, exec.ErrBudget) ||
+			errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded)
+	}
+
+	runs := []struct {
+		name string
+		run  func(opts ...cfpq.Option) (*matrix.Bool, error)
+	}{
+		{"MultiSource", func(opts ...cfpq.Option) (*matrix.Bool, error) {
+			r, err := cfpq.MultiSource(inst.G, inst.W, src, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return r.Answer(), nil
+		}},
+		{"MultiSourceSinglePath", func(opts ...cfpq.Option) (*matrix.Bool, error) {
+			r, err := cfpq.MultiSourceSinglePath(inst.G, inst.W, src, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return r.Answer(), nil
+		}},
+		{"AllPairs", func(opts ...cfpq.Option) (*matrix.Bool, error) {
+			r, err := cfpq.AllPairs(inst.G, inst.W, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return matrix.ExtractRows(r.Start(), src), nil
+		}},
+	}
+	for _, e := range runs {
+		m, err := e.run(cfpq.WithBudget(budget))
+		switch {
+		case err != nil && !allowed(err):
+			return fmt.Errorf("%s with budget %d: unexpected error %v", e.name, budget, err)
+		case err == nil:
+			if got := m.Pairs(); !pairsEqual(got, wantMS) {
+				return pairsErr(fmt.Sprintf("%s within budget %d", e.name, budget), got, wantMS)
+			}
+		}
+		// A pre-cancelled context must abort or still answer exactly.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		m, err = e.run(cfpq.WithContext(ctx))
+		switch {
+		case err != nil && !allowed(err):
+			return fmt.Errorf("%s with cancelled context: unexpected error %v", e.name, err)
+		case err == nil:
+			if got := m.Pairs(); !pairsEqual(got, wantMS) {
+				return pairsErr(e.name+" with cancelled context", got, wantMS)
+			}
+		}
+	}
+
+	// Index rollback: an aborted smart query must leave the cache sound.
+	idx, err := cfpq.NewIndex(inst.G, inst.W)
+	if err != nil {
+		return err
+	}
+	if _, err := idx.MultiSourceSmart(src, cfpq.WithBudget(budget)); err != nil && !allowed(err) {
+		return fmt.Errorf("index with budget %d: unexpected error %v", budget, err)
+	}
+	r, err := idx.MultiSourceSmart(src)
+	if err != nil {
+		return fmt.Errorf("index after abort: %v", err)
+	}
+	if got := r.Answer().Pairs(); !pairsEqual(got, wantMS) {
+		return pairsErr("index after aborted query", got, wantMS)
+	}
+	return nil
+}
+
+// WriteRepro dumps the instance to a fresh temp directory (graph,
+// grammar, sources, seed) so a failure can be replayed outside the
+// harness; it returns the directory path.
+func WriteRepro(inst gen.Instance) (string, error) {
+	dir, err := os.MkdirTemp("", "mscfpq-difftest-")
+	if err != nil {
+		return "", err
+	}
+	if err := graph.SaveFile(filepath.Join(dir, "graph.txt"), inst.G); err != nil {
+		return dir, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "grammar.txt"), []byte(inst.Grammar.String()+"\n"), 0o644); err != nil {
+		return dir, err
+	}
+	srcLine := strings.Trim(strings.Join(strings.Fields(fmt.Sprint(inst.Sources)), " "), "[]")
+	meta := fmt.Sprintf("seed %d\nkind %v\nsources %s\n", inst.Seed, inst.Kind, srcLine)
+	if err := os.WriteFile(filepath.Join(dir, "instance.txt"), []byte(meta), 0o644); err != nil {
+		return dir, err
+	}
+	return dir, nil
+}
+
+// Minimize greedily shrinks a failing instance while the fails
+// predicate keeps reporting failure: it tries dropping edges, vertex
+// labels, and sources one at a time until a fixpoint. The grammar is
+// left untouched. Intended for failure reporting only — it reruns the
+// predicate many times.
+func Minimize(inst gen.Instance, fails func(gen.Instance) bool) gen.Instance {
+	type edge struct {
+		src, dst int
+		label    string
+	}
+	type vlabel struct {
+		v     int
+		label string
+	}
+	edges := []edge{}
+	inst.G.Edges(func(src int, label string, dst int) bool {
+		edges = append(edges, edge{src, dst, label})
+		return true
+	})
+	var vlabels []vlabel
+	for _, l := range inst.G.VertexLabels() {
+		for _, v := range inst.G.VertexSet(l).Ints() {
+			vlabels = append(vlabels, vlabel{v, l})
+		}
+	}
+	sources := append([]int(nil), inst.Sources...)
+	n := inst.G.NumVertices()
+
+	build := func(es []edge, vls []vlabel, srcs []int) gen.Instance {
+		g := graph.New(n)
+		for _, e := range es {
+			g.AddEdge(e.src, e.label, e.dst)
+		}
+		for _, vl := range vls {
+			g.AddVertexLabel(vl.v, vl.label)
+		}
+		out := inst
+		out.G = g
+		out.Sources = srcs
+		return out
+	}
+
+	for again := true; again; {
+		again = false
+		for i := 0; i < len(edges); i++ {
+			trial := append(append([]edge{}, edges[:i]...), edges[i+1:]...)
+			if fails(build(trial, vlabels, sources)) {
+				edges, again = trial, true
+				i--
+			}
+		}
+		for i := 0; i < len(vlabels); i++ {
+			trial := append(append([]vlabel{}, vlabels[:i]...), vlabels[i+1:]...)
+			if fails(build(edges, trial, sources)) {
+				vlabels, again = trial, true
+				i--
+			}
+		}
+		for i := 0; i < len(sources); i++ {
+			trial := append(append([]int{}, sources[:i]...), sources[i+1:]...)
+			if fails(build(edges, vlabels, trial)) {
+				sources, again = trial, true
+				i--
+			}
+		}
+	}
+	return build(edges, vlabels, sources)
+}

@@ -1,0 +1,82 @@
+package gen
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mscfpq/internal/graph"
+)
+
+func graphText(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, g); err != nil {
+		t.Fatalf("write graph: %v", err)
+	}
+	return buf.String()
+}
+
+// The generators must be pure functions of their seed: the whole point
+// of the harness is that a failure reproduces from the printed seed.
+func TestDeterministicFromSeed(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := NewInstance(seed, 20)
+		b := NewInstance(seed, 20)
+		if got, want := graphText(t, a.G), graphText(t, b.G); got != want {
+			t.Fatalf("seed %d: graphs differ:\n%s\nvs\n%s", seed, got, want)
+		}
+		if a.Grammar.String() != b.Grammar.String() {
+			t.Fatalf("seed %d: grammars differ:\n%s\nvs\n%s", seed, a.Grammar, b.Grammar)
+		}
+		if !reflect.DeepEqual(a.Sources, b.Sources) {
+			t.Fatalf("seed %d: sources differ: %v vs %v", seed, a.Sources, b.Sources)
+		}
+	}
+}
+
+func TestGraphShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if g := Graph(rng, KindEmpty, 10, DefaultLabels); g.NumEdges() != 0 {
+		t.Errorf("empty graph has %d edges", g.NumEdges())
+	}
+	if g := Graph(rng, KindSingleVertex, 10, DefaultLabels); g.NumVertices() != 1 {
+		t.Errorf("single-vertex graph has %d vertices", g.NumVertices())
+	}
+	if g := Graph(rng, KindTwoCycles, 10, DefaultLabels); g.NumEdges() == 0 {
+		t.Error("two-cycles graph has no edges")
+	}
+	// Every kind must produce a well-formed graph and valid labels.
+	for k := GraphKind(0); k < numKinds; k++ {
+		g := Graph(rng, k, 12, DefaultLabels)
+		if g.NumVertices() < 1 {
+			t.Errorf("kind %v: no vertices", k)
+		}
+		g.Edges(func(src int, label string, dst int) bool {
+			if src < 0 || src >= g.NumVertices() || dst < 0 || dst >= g.NumVertices() {
+				t.Errorf("kind %v: edge (%d,%d) out of range", k, src, dst)
+			}
+			return true
+		})
+	}
+}
+
+// Generated grammars must always validate and normalize; sources must
+// stay in range of their graph.
+func TestInstancesWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		inst := NewInstance(seed, 20)
+		if err := inst.Grammar.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid grammar: %v", seed, err)
+		}
+		if inst.W.NumNonterms() == 0 {
+			t.Fatalf("seed %d: WCNF has no nonterminals", seed)
+		}
+		for _, s := range inst.Sources {
+			if s < 0 || s >= inst.G.NumVertices() {
+				t.Fatalf("seed %d: source %d out of range %d", seed, s, inst.G.NumVertices())
+			}
+		}
+	}
+}

@@ -1,6 +1,25 @@
 package grammar
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// queryFileSeeds returns the contents of the repository's checked-in
+// query grammars (queries/*.txt) so the shipped surface syntax is always
+// in the fuzz corpus. Missing files are skipped: the corpus still works
+// when the package is vendored elsewhere.
+func queryFileSeeds() []string {
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "queries", "*.txt"))
+	var seeds []string
+	for _, p := range paths {
+		if data, err := os.ReadFile(p); err == nil {
+			seeds = append(seeds, string(data))
+		}
+	}
+	return seeds
+}
 
 // FuzzParse asserts parsing never panics and that parsed grammars
 // normalize and render/re-parse cleanly.
@@ -14,6 +33,7 @@ func FuzzParse(f *testing.F) {
 		"S -> | a",
 		"-> a",
 	}
+	seeds = append(seeds, queryFileSeeds()...)
 	for _, s := range seeds {
 		f.Add(s)
 	}

@@ -79,6 +79,16 @@ func ParseString(s string) (*Grammar, error) {
 	return Parse(strings.NewReader(s))
 }
 
+// MustParse is ParseString, panicking on error; for literal grammars in
+// tests and generators.
+func MustParse(s string) *Grammar {
+	g, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 // LoadFile parses a grammar from a file.
 func LoadFile(path string) (*Grammar, error) {
 	f, err := os.Open(path)

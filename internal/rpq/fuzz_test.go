@@ -8,10 +8,18 @@ func FuzzRegex(f *testing.F) {
 	seeds := []string{
 		"a", "a b", "a | b", "a*", "(a b)+ c?", "a_r* b",
 		"((a))", "a**", "(", "|", "a |",
+		// Regular fragments over the labels of the checked-in query
+		// grammars (queries/*.txt): the vocabulary of the paper's
+		// datasets must stay in the corpus.
+		"subClassOf_r* subClassOf",
+		"type_r (subClassOf | type)* type",
+		"broaderTransitive+ broaderTransitive_r+",
+		"(subClassOf_r subClassOf)?",
 	}
 	for _, s := range seeds {
 		f.Add(s, "a b")
 	}
+	f.Add("subClassOf_r* subClassOf", "subClassOf")
 	f.Fuzz(func(t *testing.T, src, wordSrc string) {
 		n, err := CompileRegex(src)
 		if err != nil {

@@ -181,8 +181,19 @@ func Geo() *Grammar { return grammar.Geo() }
 func AnBnGrammar() *Grammar { return grammar.AnBn("a", "b") }
 
 // NewVertexSet builds a vertex set of size n containing the given ids.
+// Duplicate ids collapse to one membership; negative or out-of-range
+// ids denote no vertex of the graph and are dropped, so a set built
+// from untrusted input is always well-formed. Querying with it then
+// returns the answer for the valid vertices (paths from a vertex that
+// does not exist are simply absent).
 func NewVertexSet(n int, ids ...int) *VertexSet {
-	return matrix.NewVectorFromIndices(n, ids)
+	valid := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if id >= 0 && id < n {
+			valid = append(valid, id)
+		}
+	}
+	return matrix.NewVectorFromIndices(n, valid)
 }
 
 // AllPairs runs Azimov's all-pairs CFPQ algorithm (Algorithm 1).
