@@ -7,10 +7,10 @@ GO ?= go
 # module.
 RACE_PKGS = ./internal/gdb ./internal/resp ./internal/cfpq ./internal/exec
 
-.PHONY: check all build vet test race race-quick cover bench bench-quick experiments fuzz diff-test diff-test-slow clean
+.PHONY: check all build vet test race race-quick cover bench bench-quick experiments fuzz fuzz-smoke diff-test diff-test-slow lint lint-tools clean
 
 # Default: what CI runs on every change.
-check: build vet test race diff-test
+check: build vet lint test race diff-test
 
 all: build test
 
@@ -59,6 +59,37 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRegex -fuzztime=30s ./internal/rpq/
 	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=30s ./internal/resp/
 	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=30s ./internal/graph/
+
+# Ten-second fuzz pass per target: enough to catch shallow regressions
+# on every CI run without holding the pipeline hostage.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=10s ./internal/cypher/
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=10s ./internal/grammar/
+	$(GO) test -run=NONE -fuzz=FuzzRegex -fuzztime=10s ./internal/rpq/
+	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=10s ./internal/resp/
+	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=10s ./internal/graph/
+
+# Static analysis gate: formatting, the repository's own analyzers
+# (cmd/mscfpq-lint — see DESIGN.md), and, when the pinned tool is
+# installed (`make lint-tools`), a vulnerability scan. govulncheck needs
+# network access to fetch the vuln DB, so it participates only where
+# available rather than failing hermetic builds.
+lint:
+	@unformatted="$$(gofmt -l . | grep -v testdata || true)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) run ./cmd/mscfpq-lint
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... ; \
+	else \
+		echo "lint: govulncheck not installed; skipping (run 'make lint-tools')"; \
+	fi
+
+# Install the optional lint tooling at pinned versions. Requires
+# network access; the core `make lint` gate works without it.
+lint-tools:
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
 clean:
 	rm -f test_output.txt bench_output.txt

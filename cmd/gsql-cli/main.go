@@ -42,6 +42,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore errdrop closing the client at process exit; nothing can act on the error
 	defer c.Close()
 	if err := c.Ping(); err != nil {
 		return err

@@ -1,0 +1,212 @@
+// Command mscfpq-lint is the repository's multichecker: it loads and
+// type-checks every package of the module from source (standard
+// library only — no x/tools dependency) and runs the custom analyzers
+// that turn this codebase's kernel, locking, and determinism
+// conventions into build failures:
+//
+//	govloop   kernel loops must poll the execution governor they have
+//	lockguard `// guarded by <mu>` fields only touched under the lock
+//	detrange  no map-iteration-ordered output or unsorted collection
+//	errdrop   no silently dropped parse/IO errors
+//
+// Findings may be suppressed with `//lint:ignore <analyzer> <reason>`
+// on (or directly above) the flagged line; the reason is mandatory.
+//
+// Usage:
+//
+//	mscfpq-lint [-root dir] [-run list] [-tests=false] [packages...]
+//
+// With no package arguments every package in the module is checked,
+// each analyzer restricted to its default scope; explicit
+// module-relative package arguments (e.g. internal/cfpq) override the
+// scopes. Exit status is 1 when any diagnostic is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mscfpq/internal/analysis"
+	"mscfpq/internal/analysis/detrange"
+	"mscfpq/internal/analysis/errdrop"
+	"mscfpq/internal/analysis/govloop"
+	"mscfpq/internal/analysis/lockguard"
+)
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	govloop.Analyzer,
+	lockguard.Analyzer,
+	detrange.Analyzer,
+	errdrop.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mscfpq-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	tests := fs.Bool("tests", true, "also analyze _test.go files (per-analyzer filters still apply)")
+	verbose := fs.Bool("v", false, "log each package as it is analyzed")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mscfpq-lint [flags] [module-relative packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintln(stderr, "\nFlags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	selected, err := selectAnalyzers(*runList)
+	if err != nil {
+		fmt.Fprintln(stderr, "mscfpq-lint:", err)
+		return 2
+	}
+
+	if *root == "" {
+		*root, err = findRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "mscfpq-lint:", err)
+			return 2
+		}
+	}
+	mod, err := analysis.LoadModule(*root)
+	if err != nil {
+		fmt.Fprintln(stderr, "mscfpq-lint:", err)
+		return 2
+	}
+
+	dirs := fs.Args()
+	explicit := len(dirs) > 0
+	if !explicit {
+		dirs, err = mod.Dirs()
+		if err != nil {
+			fmt.Fprintln(stderr, "mscfpq-lint:", err)
+			return 2
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	for _, rel := range dirs {
+		todo := applicable(selected, rel, explicit)
+		if len(todo) == 0 {
+			continue
+		}
+		if *verbose {
+			fmt.Fprintf(stderr, "mscfpq-lint: %s\n", mod.ImportPath(rel))
+		}
+		units, err := mod.LoadUnits(rel, *tests)
+		if err != nil {
+			fmt.Fprintln(stderr, "mscfpq-lint:", err)
+			return 2
+		}
+		for _, u := range units {
+			for _, a := range todo {
+				ds, err := analysis.Run(a, u)
+				if err != nil {
+					fmt.Fprintln(stderr, "mscfpq-lint:", err)
+					return 2
+				}
+				diags = append(diags, ds...)
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := mod.Fset().Position(diags[i].Pos), mod.Fset().Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	for _, d := range diags {
+		pos := mod.Fset().Position(d.Pos)
+		rel, err := filepath.Rel(*root, pos.Filename)
+		if err != nil {
+			rel = pos.Filename
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "mscfpq-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves -run.
+func selectAnalyzers(list string) ([]*analysis.Analyzer, error) {
+	if list == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(list, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// applicable returns the analyzers whose scope covers a
+// module-relative package directory. Explicitly listed packages
+// bypass DefaultScope.
+func applicable(selected []*analysis.Analyzer, rel string, explicit bool) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range selected {
+		if explicit || inScope(a, rel) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func inScope(a *analysis.Analyzer, rel string) bool {
+	if len(a.DefaultScope) == 0 {
+		return true
+	}
+	for _, prefix := range a.DefaultScope {
+		if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// findRoot walks up from the working directory to the nearest go.mod.
+func findRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

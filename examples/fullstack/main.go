@@ -23,7 +23,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go srv.Serve()
+	go func() {
+		if err := srv.Serve(); err != nil {
+			log.Print(err)
+		}
+	}()
 	defer srv.Close()
 	fmt.Printf("server on %s\n", addr)
 
@@ -31,6 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//lint:ignore errdrop closing the client at process exit; nothing can act on the error
 	defer c.Close()
 
 	// Build the two-cycle graph over the wire: vertices are created

@@ -1,0 +1,190 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary used by this
+// repository's lint suite (cmd/mscfpq-lint).
+//
+// The repository builds with the standard library only, so instead of
+// depending on x/tools the package provides the same three concepts —
+// an Analyzer (a named check with a Run function), a Pass (one
+// type-checked package handed to an analyzer), and Diagnostics — plus
+// the //lint:ignore suppression convention. Packages are loaded and
+// type-checked from source by the loader in load.go.
+//
+// Suppression policy: a diagnostic may be silenced by a comment of the
+// form
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed either at the end of the flagged line or on its own line
+// directly above it. The reason is mandatory: an ignore comment without
+// one is itself reported and cannot be suppressed. The policy is
+// documented in TESTING.md.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore comments. It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by
+	// `mscfpq-lint -help`.
+	Doc string
+
+	// DefaultScope lists module-relative package-path prefixes the
+	// driver applies the analyzer to (e.g. "internal/matrix"). Empty
+	// means every package in the module. Scoping is a driver concern:
+	// tests run analyzers on fixture packages regardless of scope.
+	DefaultScope []string
+
+	// IgnoreTestFiles drops diagnostics reported in _test.go files.
+	IgnoreTestFiles bool
+
+	// Run implements the check. It reports findings through
+	// pass.Reportf and returns an error only for internal failures
+	// (never for findings).
+	Run func(*Pass) error
+}
+
+// A Pass is one type-checked package presented to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Run applies one analyzer to one loaded unit and returns the
+// diagnostics that survive test-file filtering and //lint:ignore
+// suppression processing, sorted by position.
+func Run(a *Analyzer, u *Unit) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      u.Fset,
+		Files:     u.Files,
+		Pkg:       u.Pkg,
+		TypesInfo: u.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	diags := pass.diags
+	if a.IgnoreTestFiles {
+		kept := diags[:0]
+		for _, d := range diags {
+			if !strings.HasSuffix(u.Fset.Position(d.Pos).Filename, "_test.go") {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+	diags = applySuppressions(u, a.Name, diags)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// suppressionsByLine maps "filename:line" of the code a comment covers
+// to the suppressions in force there. A trailing comment covers its own
+// line; a standalone comment covers the line below its last line.
+func suppressionsByLine(u *Unit) map[string][]suppression {
+	out := map[string][]suppression{}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				s := suppression{pos: c.Pos()}
+				if len(fields) > 0 {
+					s.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					s.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				p := u.Fset.Position(c.Pos())
+				end := u.Fset.Position(c.End())
+				// The comment covers its own starting line (trailing
+				// form) and the first line after it (standalone form).
+				for _, line := range []int{p.Line, end.Line + 1} {
+					key := fmt.Sprintf("%s:%d", p.Filename, line)
+					out[key] = append(out[key], s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions removes diagnostics covered by a well-formed
+// //lint:ignore comment for this analyzer and reports malformed
+// (reason-less) ignore comments that tried to cover a finding.
+func applySuppressions(u *Unit, name string, diags []Diagnostic) []Diagnostic {
+	sup := suppressionsByLine(u)
+	if len(sup) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	badReported := map[token.Pos]bool{}
+	for _, d := range diags {
+		p := u.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		matched := false
+		for _, s := range sup[key] {
+			if s.analyzer != name {
+				continue
+			}
+			if s.reason == "" {
+				if !badReported[s.pos] {
+					badReported[s.pos] = true
+					out = append(out, Diagnostic{
+						Pos:      s.pos,
+						Analyzer: name,
+						Message:  "//lint:ignore requires a reason: //lint:ignore " + name + " <why this is safe>",
+					})
+				}
+				continue
+			}
+			matched = true
+		}
+		if !matched {
+			out = append(out, d)
+		}
+	}
+	return out
+}

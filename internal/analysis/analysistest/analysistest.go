@@ -1,0 +1,176 @@
+// Package analysistest runs an analyzer over fixture packages and
+// compares its diagnostics against `// want` comments, mirroring the
+// conventions of golang.org/x/tools/go/analysis/analysistest (which the
+// repository cannot depend on — see internal/analysis).
+//
+// Fixture packages live under the analyzer's testdata/src/<pkg>
+// directory. A line expecting diagnostics carries a trailing comment
+//
+//	x.Bad() // want `regexp` `another regexp`
+//
+// with one quoted (double-quoted or backquoted) regular expression per
+// expected diagnostic on that line. The test fails on any diagnostic
+// with no matching want, and on any want with no matching diagnostic.
+// Fixtures are loaded with the module-aware loader, so they may import
+// the repository's own packages (e.g. mscfpq/internal/exec) alongside
+// the standard library.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mscfpq/internal/analysis"
+)
+
+// Run applies the analyzer to each fixture package testdata/src/<pkg>
+// (relative to the calling test's directory) and checks the resulting
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	m, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, pkg := range pkgs {
+		dir, err := filepath.Abs(filepath.Join("testdata", "src", pkg))
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		u, err := m.LoadFixture(pkg, dir)
+		if err != nil {
+			t.Errorf("analysistest: loading fixture %s: %v", pkg, err)
+			continue
+		}
+		diags, err := analysis.Run(a, u)
+		if err != nil {
+			t.Errorf("analysistest: running %s on %s: %v", a.Name, pkg, err)
+			continue
+		}
+		check(t, u, diags)
+	}
+}
+
+// want is one expected diagnostic: a regexp at a file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func check(t *testing.T, u *analysis.Unit, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants, err := collectWants(u)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	for _, d := range diags {
+		p := u.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != p.Filename || w.line != p.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", p.Filename, p.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses `// want` comments out of the unit's files. The
+// expectation is attached to the line the comment starts on.
+func collectWants(u *analysis.Unit) ([]*want, error) {
+	var wants []*want
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				loc := wantRE.FindStringIndex(c.Text)
+				if loc == nil {
+					continue
+				}
+				text := c.Text[loc[1]:]
+				p := u.Fset.Position(c.Pos())
+				patterns, err := splitPatterns(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %v", p.Filename, p.Line, err)
+				}
+				if len(patterns) == 0 {
+					return nil, fmt.Errorf("%s:%d: want comment with no quoted pattern", p.Filename, p.Line)
+				}
+				for _, pat := range patterns {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", p.Filename, p.Line, err)
+					}
+					wants = append(wants, &want{file: p.Filename, line: p.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// wantRE locates the expectation marker; it may sit mid-comment so a
+// line can carry both an analyzer annotation and a want (e.g. a
+// `guarded by` comment that is itself expected to be diagnosed).
+var wantRE = regexp.MustCompile(`\bwant\s`)
+
+var patternRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// splitPatterns extracts the quoted regexps of one want comment.
+func splitPatterns(text string) ([]string, error) {
+	var out []string
+	for _, raw := range patternRE.FindAllString(text, -1) {
+		if strings.HasPrefix(raw, "`") {
+			out = append(out, strings.Trim(raw, "`"))
+			continue
+		}
+		s, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %s: %v", raw, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// IsGovernorType reports whether t is one of the execution-governance
+// types every kernel loop is expected to poll: context.Context or
+// *exec.Run (matched by package-path suffix so fixture modules work).
+func IsGovernorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if IsContextType(t) {
+		return true
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/exec") && obj.Name() == "Run"
+}
+
+// IsMutexType reports whether t is sync.Mutex or sync.RWMutex (rw tells
+// which).
+func IsMutexType(t types.Type) (ok, rw bool) {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return true, false
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// HasWriteMethod reports whether t (or *t) has a Write([]byte) (int,
+// error) method — the structural io.Writer check, which also matches
+// strings.Builder and bytes.Buffer whose output order is visible.
+func HasWriteMethod(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			f, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || f.Name() != "Write" {
+				continue
+			}
+			sig, ok := f.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+				continue
+			}
+			slice, ok := sig.Params().At(0).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			if b, ok := slice.Elem().(*types.Basic); ok && b.Kind() == types.Byte {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ExprString renders an expression as source text — used to compare
+// receiver paths like "idx" or "s.inner" syntactically.
+func ExprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// WalkStack walks the subtree rooted at n, calling fn with each node
+// and the stack of its ancestors (outermost first, not including n).
+// If fn returns false the node's children are skipped.
+func WalkStack(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// CalleeFunc resolves the *types.Func a call invokes (function, method,
+// or qualified identifier); nil for builtins, conversions, and calls of
+// function-typed values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// ReferencesObject reports whether the subtree mentions the object.
+func ReferencesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,187 @@
+// Package detrange flags map iteration whose order leaks into output.
+//
+// Go randomizes map iteration order on purpose. Anywhere a `range` over
+// a map feeds an ordered sink — bytes written to an io.Writer or
+// strings.Builder, rows appended to a result slice, lines of a golden
+// file — the output becomes nondeterministic: golden tests flake,
+// GRAPH.DUMP round-trips stop being byte-identical, and the
+// differential harness (PR 2) can no longer diff serialized results.
+//
+// The analyzer flags a `range` statement over a map when its body
+//
+//   - writes through anything with a Write method (io.Writer,
+//     strings.Builder, bytes.Buffer), calls fmt print/fprint helpers,
+//     or calls an encoder's Encode — output emitted in map order; or
+//   - appends to a slice declared outside the loop that is not passed
+//     to a sort (sort.* / slices.Sort*) later in the same function —
+//     the collect-then-sort idiom is the accepted fix and is not
+//     flagged.
+//
+// Writes keyed by the ranged key (out[k] = v) are order-independent
+// and accepted, as are pure reductions (counters, set unions).
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mscfpq/internal/analysis"
+)
+
+// Analyzer is the detrange analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flags range-over-map loops that emit output or build slices in " +
+		"iteration order without sorting, which makes results nondeterministic",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn := enclosingFuncBody(n)
+			if fn == nil {
+				return true
+			}
+			reported := map[token.Pos]bool{}
+			ast.Inspect(fn, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[rng.X]; !ok || !isMap(tv.Type) {
+					return true
+				}
+				checkMapRange(pass, fn, rng, reported)
+				return true
+			})
+			return false
+		})
+	}
+	return nil
+}
+
+// enclosingFuncBody returns the body when n is a function declaration
+// or literal; nil otherwise.
+func enclosingFuncBody(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(pass *analysis.Pass, fn *ast.BlockStmt, rng *ast.RangeStmt, reported map[token.Pos]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && !reported[call.Pos()] {
+			if reason := outputCall(pass, call); reason != "" {
+				reported[call.Pos()] = true
+				pass.Reportf(call.Pos(), "%s inside range over a map: iteration order is random, so the output is nondeterministic — iterate sorted keys instead", reason)
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+				if obj := outerSliceTarget(pass, call.Args[0], rng); obj != nil && !sortedLater(pass, fn, rng, obj) {
+					reported[call.Pos()] = true
+					pass.Reportf(call.Pos(), "append to %q inside range over a map without sorting it afterwards: element order is nondeterministic — sort %q before use (sort.* / slices.Sort*)", obj.Name(), obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// outputCall classifies calls that emit bytes in call order; "" means
+// not an output call.
+func outputCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		// fmt.Print*/Fprint* helpers.
+		if f := analysis.CalleeFunc(pass.TypesInfo, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+			switch f.Name() {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return "fmt." + f.Name() + " call"
+			}
+		}
+		// Writer-ish method receivers: Write*, Encode.
+		name := fun.Sel.Name
+		isWriteName := name == "Encode" || name == "WriteString" || name == "WriteByte" ||
+			name == "WriteRune" || name == "Write"
+		if !isWriteName {
+			return ""
+		}
+		if tv, ok := pass.TypesInfo.Types[fun.X]; ok && tv.Type != nil {
+			t := tv.Type
+			if analysis.HasWriteMethod(t) || name == "Encode" {
+				return name + " on " + t.String()
+			}
+		}
+	}
+	return ""
+}
+
+// outerSliceTarget resolves append's first argument to a slice variable
+// declared outside the range statement; nil otherwise.
+func outerSliceTarget(pass *analysis.Pass, arg ast.Expr, rng *ast.RangeStmt) types.Object {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return nil // loop-local accumulator: scoped per iteration
+	}
+	return obj
+}
+
+// sortedLater reports whether, after the range statement, the function
+// passes the slice to a sorting call: anything from the sort or slices
+// packages (including indirectly inside a comparison closure, as in
+// sort.Slice), or a helper whose name contains "Sort" (the repository's
+// canonicalization helpers, e.g. oracle.SortPairs).
+func sortedLater(pass *analysis.Pass, fn *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		f := analysis.CalleeFunc(pass.TypesInfo, call)
+		if f == nil {
+			return true
+		}
+		isSorter := strings.Contains(f.Name(), "Sort") || strings.Contains(f.Name(), "sort")
+		if p := f.Pkg(); p != nil && (p.Path() == "sort" || p.Path() == "slices") {
+			isSorter = true
+		}
+		if !isSorter {
+			return true
+		}
+		for _, arg := range call.Args {
+			if analysis.ReferencesObject(pass.TypesInfo, arg, obj) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

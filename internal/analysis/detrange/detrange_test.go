@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"mscfpq/internal/analysis/analysistest"
+	"mscfpq/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, detrange.Analyzer, "detpos", "detneg")
+}

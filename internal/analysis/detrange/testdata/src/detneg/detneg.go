@@ -1,0 +1,48 @@
+// Package detneg holds detrange negatives: map iteration the analyzer
+// must accept.
+package detneg
+
+import "sort"
+
+// sortedKeys collects then sorts — the canonical fix.
+func sortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// helperSorted canonicalizes through a named Sort helper, the
+// repository's oracle.SortPairs idiom.
+func helperSorted(m map[int]int) [][2]int {
+	var out [][2]int
+	for k, v := range m {
+		out = append(out, [2]int{k, v})
+	}
+	sortPairs(out)
+	return out
+}
+
+func sortPairs(ps [][2]int) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i][0] < ps[j][0] })
+}
+
+// invert writes keyed by the ranged value: order-independent.
+func invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// total is a pure reduction.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

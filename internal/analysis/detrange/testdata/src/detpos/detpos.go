@@ -1,0 +1,34 @@
+// Package detpos holds detrange true positives: map iteration order
+// leaking into output.
+package detpos
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// dump emits one line per entry in map order.
+func dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf call inside range over a map`
+	}
+}
+
+// render writes keys into a builder in map order.
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString on strings.Builder inside range over a map`
+	}
+	return b.String()
+}
+
+// keys collects into an outer slice that is never sorted.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside range over a map without sorting`
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package errdrop flags silently discarded errors from the parse and
+// IO layers.
+//
+// The graph text format, the grammar and Cypher parsers, the RESP
+// protocol, and the gdb persistence layer all report malformed input
+// and IO failures through error returns. Dropping one of those errors
+// does not crash — it silently truncates a dump, accepts a half-parsed
+// query, or loses a protocol failure, which is exactly the class of bug
+// the differential harness (PR 2) cannot see because the in-memory
+// state still looks healthy.
+//
+// The analyzer flags, for callees in the graph/grammar/cypher/resp/gdb
+// packages (and the root facade) whose results include an error:
+//
+//   - calls used as statements (also under go/defer) — the error is
+//     dropped implicitly;
+//   - assignments that put the error result in the blank identifier
+//     (`_ = graph.Write(...)`, `g, _ := graph.Read(...)`) — explicit
+//     discards must instead carry a //lint:ignore errdrop <reason>.
+//
+// It also flags (*encoding/csv.Writer).Flush as a statement in a
+// function that never consults the writer's Error method: csv.Flush
+// reports write failures only through Error, so skipping the check
+// silently truncates experiment artifacts.
+package errdrop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mscfpq/internal/analysis"
+)
+
+// Analyzer is the errdrop analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "flags discarded errors from the graph/grammar/cypher/resp/gdb " +
+		"parse and IO layers, and csv.Writer.Flush without an Error check",
+	IgnoreTestFiles: true,
+	Run:             run,
+}
+
+// scopeSuffixes are the package-path suffixes whose errors must not be
+// dropped. Matched by suffix so analysistest fixture modules qualify.
+var scopeSuffixes = []string{
+	"internal/graph",
+	"internal/grammar",
+	"internal/cypher",
+	"internal/resp",
+	"internal/gdb",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				checkStmtCall(pass, stmt.X)
+			case *ast.GoStmt:
+				checkStmtCall(pass, stmt.Call)
+			case *ast.DeferStmt:
+				checkStmtCall(pass, stmt.Call)
+			case *ast.AssignStmt:
+				checkAssign(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errResults resolves the called function; when it belongs to a
+// protected package (including methods on its types) and returns at
+// least one error, the error result positions are returned.
+func errResults(pass *analysis.Pass, call *ast.CallExpr) (fn *types.Func, positions []int) {
+	fn = analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, nil
+	}
+	path := fn.Pkg().Path()
+	ok := false
+	for _, suf := range scopeSuffixes {
+		if strings.HasSuffix(path, suf) {
+			ok = true
+			break
+		}
+	}
+	// The module root facade re-exports the same layers: a callee whose
+	// package path equals the linted module's root is in scope too.
+	if !ok && pass.Pkg != nil && path == rootOf(pass.Pkg.Path()) {
+		ok = true
+	}
+	if !ok {
+		return nil, nil
+	}
+	sig, okSig := fn.Type().(*types.Signature)
+	if !okSig {
+		return nil, nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) == 0 {
+		return nil, nil
+	}
+	return fn, positions
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func rootOf(path string) string {
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// checkStmtCall handles a call whose results are all dropped.
+func checkStmtCall(pass *analysis.Pass, e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if fn, positions := errResults(pass, call); fn != nil && len(positions) > 0 {
+		pass.Reportf(call.Pos(), "error returned by %s.%s is dropped — handle it or suppress with //lint:ignore errdrop <reason>", fn.Pkg().Name(), fn.Name())
+		return
+	}
+	checkCSVFlush(pass, call)
+}
+
+// checkAssign flags blank identifiers occupying error result positions
+// of in-scope calls.
+func checkAssign(pass *analysis.Pass, assign *ast.AssignStmt) {
+	// Multi-value form: v, _ := pkg.Call().
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn, positions := errResults(pass, call)
+		if fn == nil {
+			return
+		}
+		for _, i := range positions {
+			if i < len(assign.Lhs) && isBlank(assign.Lhs[i]) {
+				pass.Reportf(assign.Lhs[i].Pos(), "error result of %s.%s assigned to _ — handle it or suppress with //lint:ignore errdrop <reason>", fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return
+	}
+	// Parallel form: _ = pkg.Call() (single or multiple pairs).
+	for i, lhs := range assign.Lhs {
+		if !isBlank(lhs) || i >= len(assign.Rhs) {
+			continue
+		}
+		call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if fn, positions := errResults(pass, call); fn != nil && len(positions) > 0 {
+			pass.Reportf(lhs.Pos(), "error returned by %s.%s discarded with _ — handle it or suppress with //lint:ignore errdrop <reason>", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// checkCSVFlush flags cw.Flush() statements when the enclosing
+// function never calls cw.Error().
+func checkCSVFlush(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Flush" {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isCSVWriter(tv.Type) {
+		return
+	}
+	recv := analysis.ExprString(pass.Fset, sel.X)
+	fn := enclosingFunc(pass, call.Pos())
+	if fn == nil {
+		return
+	}
+	checked := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && s.Sel.Name == "Error" &&
+			analysis.ExprString(pass.Fset, s.X) == recv {
+			checked = true
+			return false
+		}
+		return !checked
+	})
+	if !checked {
+		pass.Reportf(call.Pos(), "csv.Writer.Flush without checking %s.Error(): write failures are silently dropped", recv)
+	}
+}
+
+func isCSVWriter(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "encoding/csv" && obj.Name() == "Writer"
+}
+
+// enclosingFunc finds the innermost function body containing pos.
+func enclosingFunc(pass *analysis.Pass, pos token.Pos) ast.Node {
+	var best ast.Node
+	for _, file := range pass.Files {
+		if pos < file.Pos() || pos > file.End() {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				if n.Pos() <= pos && pos <= n.End() {
+					best = n
+				}
+			}
+			return true
+		})
+	}
+	return best
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"mscfpq/internal/analysis/analysistest"
+	"mscfpq/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, errdrop.Analyzer, "errpos", "errneg")
+}

@@ -1,0 +1,49 @@
+// Package errneg holds errdrop negatives: handled errors and
+// out-of-scope callees.
+package errneg
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"mscfpq/internal/grammar"
+)
+
+// handled propagates the parse error.
+func handled(r io.Reader) (*grammar.Grammar, error) {
+	g, err := grammar.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// suppressed documents why the discard is safe.
+func suppressed(r io.Reader) {
+	//lint:ignore errdrop probing whether the input parses at all; the result is irrelevant
+	grammar.Parse(r)
+}
+
+// outOfScope drops an error from a package the analyzer does not
+// protect; errdrop is deliberately narrower than errcheck.
+func outOfScope(w io.Writer) {
+	fmt.Fprintln(w, "hello")
+}
+
+// flushChecked consults the csv writer's Error method after Flush.
+func flushChecked(rows [][]string) (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	for _, row := range rows {
+		if err := w.Write(row); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

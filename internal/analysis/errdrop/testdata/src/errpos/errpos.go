@@ -1,0 +1,44 @@
+// Package errpos holds errdrop true positives: parse/IO errors
+// silently discarded.
+package errpos
+
+import (
+	"encoding/csv"
+	"io"
+	"strings"
+
+	"mscfpq/internal/cypher"
+	"mscfpq/internal/grammar"
+)
+
+// statementDrop discards every result of an in-scope parse.
+func statementDrop(r io.Reader) {
+	grammar.Parse(r) // want `error returned by grammar.Parse is dropped`
+}
+
+// deferDrop loses the error behind a defer.
+func deferDrop(r io.Reader) {
+	defer grammar.Parse(r) // want `error returned by grammar.Parse is dropped`
+}
+
+// blankMulti keeps the value but blanks the error.
+func blankMulti(src string) *cypher.Query {
+	q, _ := cypher.Parse(src) // want `error result of cypher.Parse assigned to _`
+	return q
+}
+
+// blankSingle discards an error-only result with the blank identifier.
+func blankSingle(src string) {
+	_, _ = grammar.ParseString(src) // want `error result of grammar.ParseString assigned to _`
+}
+
+// flushUnchecked never consults the csv writer's Error method.
+func flushUnchecked(rows [][]string) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	for _, row := range rows {
+		w.Write(row) // csv is outside the parse/IO scope; only Flush is special-cased
+	}
+	w.Flush() // want `csv.Writer.Flush without checking w.Error`
+	return b.String()
+}

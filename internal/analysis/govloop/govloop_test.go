@@ -1,0 +1,12 @@
+package govloop_test
+
+import (
+	"testing"
+
+	"mscfpq/internal/analysis/analysistest"
+	"mscfpq/internal/analysis/govloop"
+)
+
+func TestGovloop(t *testing.T) {
+	analysistest.Run(t, govloop.Analyzer, "govpos", "govneg")
+}

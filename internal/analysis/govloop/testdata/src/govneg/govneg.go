@@ -1,0 +1,67 @@
+// Package govneg holds govloop negatives: loops the analyzer must
+// accept.
+package govneg
+
+import (
+	"context"
+
+	"mscfpq/internal/exec"
+)
+
+// polled drains a worklist but checks the context every round.
+func polled(ctx context.Context, work []int) error {
+	for len(work) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work = work[1:]
+	}
+	return nil
+}
+
+// charged polls the run's budget inside the fixpoint.
+func charged(run *exec.Run, n int) error {
+	for changed := true; changed; {
+		changed = false
+		if err := run.Charge(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// delegated passes the governor to the callee each round, which is the
+// repository's governed-kernel idiom.
+func delegated(ctx context.Context, work []int) {
+	for len(work) > 0 {
+		step(ctx, work[0])
+		work = work[1:]
+	}
+}
+
+func step(ctx context.Context, n int) {
+	_ = ctx
+	_ = n
+}
+
+// flat is a single-level index sweep: linear loops are accepted even
+// without a poll.
+func flat(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	_ = ctx
+	return total
+}
+
+// ungoverned has no governor in scope at all, so there is nothing to
+// poll; the serial kernels are out of the analyzer's scope by design.
+func ungoverned(work []int) int {
+	sum := 0
+	for len(work) > 0 {
+		sum += work[0]
+		work = work[1:]
+	}
+	return sum
+}

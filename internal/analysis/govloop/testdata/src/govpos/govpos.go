@@ -1,0 +1,56 @@
+// Package govpos holds govloop true positives: kernel-sized loops in
+// functions that have a governor in scope but never poll it.
+package govpos
+
+import (
+	"context"
+
+	"mscfpq/internal/exec"
+)
+
+// drain is a worklist loop whose trip count scales with the queue, with
+// a context in scope it never consults.
+func drain(ctx context.Context, work []int) int {
+	sum := 0
+	for len(work) > 0 { // want `kernel-sized loop without a governor checkpoint`
+		sum += work[0]
+		work = work[1:]
+	}
+	select {
+	case <-ctx.Done():
+	default:
+	}
+	return sum
+}
+
+// fixpoint iterates until convergence with an exec.Run in scope; the
+// nested sweep makes it at least quadratic.
+func fixpoint(run *exec.Run, n int) int {
+	total := 0
+	for changed := true; changed; { // want `kernel-sized loop without a governor checkpoint`
+		changed = false
+		for i := 0; i < n; i++ {
+			if total < n*n {
+				total += i
+				changed = true
+			}
+		}
+	}
+	_ = run
+	return total
+}
+
+// nested is a flat-looking double loop (quadratic) that ignores its
+// governor entirely.
+func nested(ctx context.Context, m [][]bool) int {
+	count := 0
+	for i := range m { // want `kernel-sized loop without a governor checkpoint`
+		for j := range m[i] {
+			if m[i][j] {
+				count++
+			}
+		}
+	}
+	_ = ctx.Err
+	return count
+}

@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked body of Go files presented to analyzers: a
+// package's compiled files, optionally merged with its in-package test
+// files, or a package's external (_test package) test files.
+type Unit struct {
+	// Path is the unit's import path ("mscfpq/internal/cfpq", with a
+	// "_test" suffix for external test units).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Module loads and type-checks the packages of one Go module from
+// source, with no toolchain dependencies beyond the standard library:
+// imports inside the module resolve to its directories, anything else
+// resolves through the standard library's source importer.
+type Module struct {
+	Root string // absolute directory containing go.mod
+	Path string // module path declared in go.mod
+
+	// Extra maps additional import paths to directories, letting test
+	// fixtures outside the module (testdata/src/...) import each other
+	// and be loaded as units.
+	Extra map[string]string
+
+	fset     *token.FileSet
+	std      types.ImporterFrom
+	pkgs     map[string]*types.Package // pure (non-test) packages by import path
+	checking map[string]bool
+}
+
+// LoadModule prepares a loader for the module rooted at root.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: not a module root: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Module{
+		Root:     root,
+		Path:     modPath,
+		fset:     fset,
+		std:      std,
+		pkgs:     map[string]*types.Package{},
+		checking: map[string]bool{},
+	}, nil
+}
+
+// Fset returns the file set shared by everything the module loads.
+func (m *Module) Fset() *token.FileSet { return m.fset }
+
+// Dirs returns the module-relative paths ("" for the root package) of
+// every directory containing buildable Go files, sorted, skipping
+// testdata, hidden, and underscore-prefixed directories.
+func (m *Module) Dirs() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != m.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(m.Root, path)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				rel = ""
+			}
+			out = append(out, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// ImportPath returns the import path of a module-relative directory.
+func (m *Module) ImportPath(rel string) string {
+	if rel == "" {
+		return m.Path
+	}
+	return m.Path + "/" + rel
+}
+
+// dirFor resolves an import path to a directory inside the module or
+// the Extra map; ok is false for anything else (standard library).
+func (m *Module) dirFor(path string) (string, bool) {
+	if dir, ok := m.Extra[path]; ok {
+		return dir, true
+	}
+	if path == m.Path {
+		return m.Root, true
+	}
+	if rest, ok := strings.CutPrefix(path, m.Path+"/"); ok {
+		return filepath.Join(m.Root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Import implements types.Importer.
+func (m *Module) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module and fixture paths
+// are type-checked from their directories (caching the result), the
+// rest is delegated to the standard library source importer.
+func (m *Module) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkgDir, ok := m.dirFor(path); ok {
+		return m.loadPure(path, pkgDir)
+	}
+	return m.std.ImportFrom(path, dir, mode)
+}
+
+// loadPure type-checks the non-test files of one directory and caches
+// the resulting package. It is what import resolution uses, so test
+// files never leak into importers.
+func (m *Module) loadPure(path, dir string) (*types.Package, error) {
+	if pkg, ok := m.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if m.checking[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	m.checking[path] = true
+	defer delete(m.checking, path)
+
+	files, _, _, err := m.listFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := m.parse(dir, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := m.check(path, parsed, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// listFiles returns the buildable compiled, in-package test, and
+// external test file names of a directory, honoring build constraints.
+func (m *Module) listFiles(dir string) (goFiles, testFiles, xtestFiles []string, err error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		var noGo *build.NoGoError
+		if !errors.As(err, &noGo) {
+			return nil, nil, nil, fmt.Errorf("analysis: %s: %w", dir, err)
+		}
+	}
+	if bp == nil {
+		return nil, nil, nil, nil
+	}
+	return bp.GoFiles, bp.TestGoFiles, bp.XTestGoFiles, nil
+}
+
+func (m *Module) parse(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(m.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks files as a package. info may be nil for pure
+// import-resolution loads.
+func (m *Module) check(path string, files []*ast.File, info *types.Info) (*types.Package, error) {
+	var errs []error
+	conf := types.Config{
+		Importer: m,
+		Error: func(err error) {
+			if len(errs) < 10 {
+				errs = append(errs, err)
+			}
+		},
+	}
+	pkg, _ := conf.Check(path, m.fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("analysis: type errors in %s: %v", path, errs[0])
+	}
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// LoadUnits loads the analysis units of one module-relative directory:
+// the compiled package merged with its in-package test files, plus (if
+// present and tests is true) the external test package. With tests
+// false, test files are excluded entirely.
+func (m *Module) LoadUnits(rel string, tests bool) ([]*Unit, error) {
+	dir := filepath.Join(m.Root, filepath.FromSlash(rel))
+	path := m.ImportPath(rel)
+	goFiles, testFiles, xtestFiles, err := m.listFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var units []*Unit
+	names := goFiles
+	if tests {
+		names = append(append([]string{}, goFiles...), testFiles...)
+	}
+	if len(names) > 0 {
+		u, err := m.checkUnit(path, dir, names)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	if tests && len(xtestFiles) > 0 {
+		u, err := m.checkUnit(path+"_test", dir, xtestFiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// LoadFixture loads a fixture directory (outside the module tree) as a
+// single unit under the given import path; all .go files in the
+// directory are included.
+func (m *Module) LoadFixture(importPath, dir string) (*Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return m.checkUnit(importPath, dir, names)
+}
+
+func (m *Module) checkUnit(path, dir string, names []string) (*Unit, error) {
+	files, err := m.parse(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	pkg, err := m.check(path, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{Path: path, Fset: m.fset, Files: files, Pkg: pkg, Info: info}, nil
+}

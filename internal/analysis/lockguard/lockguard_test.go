@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"mscfpq/internal/analysis/analysistest"
+	"mscfpq/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, lockguard.Analyzer, "lockpos", "lockneg")
+}

@@ -1,0 +1,68 @@
+// Package lockneg holds lockguard negatives: accesses the analyzer
+// must accept.
+package lockneg
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// deferred is the canonical lock/defer-unlock critical section.
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// window locks and unlocks around the access explicitly.
+func (c *counter) window() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// earlyReturn unlocks inside a branch that returns; the critical
+// section continues after the branch.
+func (c *counter) earlyReturn(skip bool) {
+	c.mu.Lock()
+	if skip {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// bumpLocked documents the caller-holds-the-lock convention with its
+// name suffix.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// construct initializes a value that cannot be shared yet.
+func construct(n int) *counter {
+	c := &counter{}
+	c.n = n
+	return c
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+// readShared reads under the read lock, which is enough.
+func (t *table) readShared(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// writeExclusive writes under the write lock.
+func (t *table) writeExclusive(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+}

@@ -1,0 +1,48 @@
+// Package lockpos holds lockguard true positives.
+package lockpos
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) bump() {
+	c.n++ // want `write to c.n without holding c.mu`
+}
+
+func (c *counter) get() int {
+	return c.n // want `read of c.n without holding c.mu`
+}
+
+// unlockTooEarly ends the critical section before the write.
+func (c *counter) unlockTooEarly() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	c.n = 1 // want `write to c.n without holding c.mu`
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+// putUnderRead writes while holding only the read lock.
+func (t *table) putUnderRead(k string, v int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.m[k] = v // want `write to t.m \(guarded by mu\) while holding only the read lock`
+}
+
+// deleteUnlocked mutates the guarded map with no lock at all.
+func (t *table) deleteUnlocked(k string) {
+	delete(t.m, k) // want `write to t.m without holding t.mu`
+}
+
+type broken struct {
+	n int // guarded by mu -- want `no sync.Mutex/RWMutex field named "mu"`
+}
+
+func (b *broken) value() int { return b.n }

@@ -1,0 +1,28 @@
+// Package supp exercises the //lint:ignore suppression policy against
+// a test analyzer that flags every call.
+package supp
+
+func mark() {}
+
+func trailing() {
+	mark() //lint:ignore callmark calls are intentionally flagged in this fixture
+}
+
+func standalone() {
+	//lint:ignore callmark the comment above a line covers it too
+	mark()
+}
+
+func noReason() {
+	//lint:ignore callmark
+	mark()
+}
+
+func otherAnalyzer() {
+	//lint:ignore othercheck a reason aimed at a different analyzer
+	mark()
+}
+
+func bare() {
+	mark()
+}

@@ -27,6 +27,11 @@ func AllPairs(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result, error) 
 	initEpsRules(r, n)
 
 	for changed := true; changed; {
+		// Poll once per round: with no binary rules the body below is
+		// empty, and the governor must still be able to abort.
+		if err := run.Err(); err != nil {
+			return nil, err
+		}
 		changed = false
 		for _, rule := range w.BinRules {
 			prod, err := run.Mul(r.T[rule.B], r.T[rule.C])

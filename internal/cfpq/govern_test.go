@@ -64,6 +64,29 @@ func TestCancelledContextAborts(t *testing.T) {
 	}
 }
 
+// TestCancelledContextAbortsTerminalOnlyGrammar pins the degenerate
+// case that once slipped past the governor: a grammar with no binary
+// rules leaves every fixpoint body empty, so only explicit polls in
+// the seeding loops and at the top of each round can observe a
+// cancelled context. Before those polls existed, every algorithm
+// "succeeded" on a context that was cancelled before the call.
+func TestCancelledContextAbortsTerminalOnlyGrammar(t *testing.T) {
+	in := govInput(20)
+	in.w = grammar.MustWCNF(grammar.MustNew("S", []grammar.Production{
+		{LHS: "S", RHS: []grammar.Symbol{grammar.T("a")}},
+	}))
+	if len(in.w.BinRules) != 0 {
+		t.Fatalf("grammar has %d binary rules, want 0", len(in.w.BinRules))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, err := range governedAlgorithms(in, WithContext(ctx)) {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
 func TestTimeoutAbortsPromptly(t *testing.T) {
 	// Ungoverned, this input runs for over a hundred milliseconds
 	// (worklist baseline) to minutes (matrix fixpoints); a 3ms timeout

@@ -31,11 +31,11 @@ type Index struct {
 	W *grammar.WCNF
 
 	mu   sync.Mutex
-	T    []*matrix.Bool // cached relation matrices, grown monotonically
-	TSrc []*matrix.Bool // sources already fully processed, per nonterminal
+	T    []*matrix.Bool // guarded by mu: cached relation matrices, grown monotonically
+	TSrc []*matrix.Bool // guarded by mu: sources already fully processed, per nonterminal
 
 	opts    exec.Options
-	queries int
+	queries int // guarded by mu
 }
 
 // NewIndex creates an empty cache for (g, w), seeding T from the simple
@@ -134,6 +134,9 @@ func (idx *Index) MultiSourceSmartFrom(srcByNT map[int]*matrix.Vector, opts ...O
 	}
 
 	for changed := true; changed; {
+		if err := run.Err(); err != nil {
+			return nil, err
+		}
 		changed = false
 		for _, rule := range w.BinRules {
 			m, err := run.Mul(newSrc[rule.A], work[rule.B])

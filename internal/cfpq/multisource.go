@@ -84,6 +84,9 @@ func MultiSourceFrom(g *graph.Graph, w *grammar.WCNF, srcByNT map[int]*matrix.Ve
 	initEpsRules(r.Result, n)
 
 	for changed := true; changed; {
+		if err := run.Err(); err != nil {
+			return nil, err
+		}
 		changed = false
 		for _, rule := range w.BinRules {
 			m, err := run.Mul(r.Src[rule.A], r.T[rule.B])

@@ -35,6 +35,9 @@ func AllPairsSemiNaive(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result
 		delta[a] = r.T[a].Clone()
 	}
 	for {
+		if err := run.Err(); err != nil {
+			return nil, err
+		}
 		next := make([]*matrix.Bool, nnt)
 		for a := 0; a < nnt; a++ {
 			next[a] = matrix.NewBool(n, n)

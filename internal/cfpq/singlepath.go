@@ -65,7 +65,12 @@ func SinglePath(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*SinglePathRes
 
 	// Simple rules, recording terminal provenance. Edge beats vertex
 	// label if both somehow apply; entries record their first deriver.
+	// Seeding is O(edges) per rule, so it polls the governor like the
+	// fixpoint below: a terminal-only grammar must still abort.
 	for _, rule := range w.TermRules {
+		if err := run.Err(); err != nil {
+			return nil, err
+		}
 		name := w.Terms[rule.Term]
 		em := g.EdgeMatrix(name)
 		em.Iterate(func(i, j int) bool {
@@ -87,6 +92,9 @@ func SinglePath(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*SinglePathRes
 	for a, nullable := range w.Nullable {
 		if !nullable {
 			continue
+		}
+		if err := run.Err(); err != nil {
+			return nil, err
 		}
 		for i := 0; i < n; i++ {
 			if !r.T[a].Get(i, i) {

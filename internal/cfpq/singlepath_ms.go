@@ -59,7 +59,12 @@ func MultiSourceSinglePath(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector, 
 	matrix.AddInPlace(r.Src[w.Start], src.Diag())
 
 	// Simple and eps rules with terminal provenance (as in SinglePath).
+	// Seeding polls the governor so terminal-only queries stay
+	// cancellable too.
 	for _, rule := range w.TermRules {
+		if err := run.Err(); err != nil {
+			return nil, err
+		}
 		name := w.Terms[rule.Term]
 		g.EdgeMatrix(name).Iterate(func(i, j int) bool {
 			if !r.T[rule.A].Get(i, j) {
@@ -78,6 +83,9 @@ func MultiSourceSinglePath(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector, 
 	for a, nullable := range w.Nullable {
 		if !nullable {
 			continue
+		}
+		if err := run.Err(); err != nil {
+			return nil, err
 		}
 		for i := 0; i < n; i++ {
 			if !r.T[a].Get(i, i) {

@@ -80,8 +80,13 @@ func worklistOn(g *graph.Graph, w *grammar.WCNF, keep *matrix.Vector, run *exec.
 		queue = append(queue, fact{a: int32(a), i: uint32(i), j: uint32(j)})
 	}
 
-	// Seed simple rules restricted to kept vertices.
+	// Seed simple rules restricted to kept vertices. Seeding is
+	// O(edges) per rule and polls the governor so queries on
+	// terminal-only grammars abort too.
 	for _, rule := range w.TermRules {
+		if err := run.Err(); err != nil {
+			return nil, err
+		}
 		name := w.Terms[rule.Term]
 		g.EdgeMatrix(name).Iterate(func(i, j int) bool {
 			if inKeep(i) && inKeep(j) {
@@ -98,6 +103,9 @@ func worklistOn(g *graph.Graph, w *grammar.WCNF, keep *matrix.Vector, run *exec.
 	for a, nullable := range w.Nullable {
 		if !nullable {
 			continue
+		}
+		if err := run.Err(); err != nil {
+			return nil, err
 		}
 		if keep != nil {
 			for _, v := range keep.Ints() {

@@ -21,10 +21,10 @@ import (
 // (CREATE, DELETE) take exclusive locks, queries share read locks.
 type DB struct {
 	mu     sync.RWMutex
-	graphs map[string]*GraphStore
+	graphs map[string]*GraphStore // guarded by mu
 
 	polMu  sync.RWMutex
-	policy Policy
+	policy Policy // guarded by polMu
 }
 
 // New returns an empty database.
@@ -39,12 +39,12 @@ func New() *DB {
 type GraphStore struct {
 	mu      sync.RWMutex
 	g       *graph.Graph
-	props   map[int]map[string]cypher.Value
-	version int // bumped on every write; invalidates cached contexts
+	props   map[int]map[string]cypher.Value // guarded by mu
+	version int                             // guarded by mu: bumped on every write; invalidates cached contexts
 
 	ctxMu    sync.Mutex
-	ctxCache map[string]*cachedCtx
-	ctxHits  int
+	ctxCache map[string]*cachedCtx // guarded by ctxMu
+	ctxHits  int                   // guarded by ctxMu
 }
 
 type cachedCtx struct {
@@ -61,10 +61,12 @@ func NewGraphStore(g *graph.Graph) *GraphStore {
 	}
 }
 
-// pathCtxFor returns a shared path-pattern context for the query's
-// declarations, rebuilding it when the graph version changed. Queries
-// without declarations always get a fresh empty context (cheap).
-func (s *GraphStore) pathCtxFor(q *cypher.Query) (*plan.PathCtx, error) {
+// pathCtxForLocked returns a shared path-pattern context for the
+// query's declarations, rebuilding it when the graph version changed.
+// Queries without declarations always get a fresh empty context
+// (cheap). Callers must hold s.mu (read or write): version is guarded
+// by mu, and the context build reads the graph.
+func (s *GraphStore) pathCtxForLocked(q *cypher.Query) (*plan.PathCtx, error) {
 	if len(q.PathPatterns) == 0 {
 		return plan.NewPathCtx(s.g, nil)
 	}
@@ -262,7 +264,7 @@ func (db *DB) Profile(name, src string) ([]string, error) {
 func (s *GraphStore) runMatch(q *cypher.Query, opts ...exec.Option) (*QueryResult, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	ctx, err := s.pathCtxFor(q)
+	ctx, err := s.pathCtxForLocked(q)
 	if err != nil {
 		return nil, err
 	}
@@ -307,9 +309,11 @@ func (db *DB) runCreate(name string, q *cypher.Query) (*QueryResult, error) {
 			s.g.AddVertexLabel(v, l)
 		}
 		for _, p := range n.Props {
+			//lint:ignore lockguard newNode only runs synchronously below, under the s.mu.Lock taken by runCreate
 			pm := s.props[v]
 			if pm == nil {
 				pm = map[string]cypher.Value{}
+				//lint:ignore lockguard same critical section as the read above
 				s.props[v] = pm
 			}
 			pm[p.Key] = p.Val

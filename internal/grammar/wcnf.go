@@ -232,6 +232,7 @@ func ToWCNF(g *Grammar) (*WCNF, error) {
 			for c := range unitSet[b] {
 				if !closure[a][c] {
 					closure[a][c] = true
+					//lint:ignore detrange stack is a DFS worklist; the closure it computes is a set, and rule lists are sorted at emission below
 					stack = append(stack, c)
 				}
 			}

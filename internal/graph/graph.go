@@ -33,7 +33,7 @@ type Graph struct {
 	nedges  int
 
 	tmu        sync.Mutex
-	transposed map[string]*matrix.Bool // cache for inverse-label matrices
+	transposed map[string]*matrix.Bool // guarded by tmu: cache for inverse-label matrices
 }
 
 // New returns an empty graph with capacity for n vertices.

@@ -20,10 +20,10 @@ type Server struct {
 	Logger *log.Logger // nil = silent
 
 	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	draining bool
-	shutdown bool
+	ln       net.Listener          // guarded by mu
+	conns    map[net.Conn]struct{} // guarded by mu
+	draining bool                  // guarded by mu
+	shutdown bool                  // guarded by mu
 
 	// inflight counts commands between dispatch and reply flush; Shutdown
 	// drains it before closing connections.
@@ -171,6 +171,7 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		if len(args) == 0 {
+			//lint:ignore errdrop best-effort error reply on a connection we are about to close
 			_ = Write(w, Errorf("protocol error"))
 			_ = w.Flush()
 			return
@@ -180,6 +181,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Lock()
 		if s.draining || s.shutdown {
 			s.mu.Unlock()
+			//lint:ignore errdrop best-effort refusal on a draining server; the connection closes either way
 			_ = Write(w, Errorf("server is shutting down"))
 			_ = w.Flush()
 			return

@@ -92,8 +92,11 @@ func EvalReachable(g *graph.Graph, n *NFA, src *matrix.Vector, opts ...exec.Opti
 func ToGrammar(n *NFA) *grammar.Grammar {
 	name := func(q int) string { return fmt.Sprintf("Q%d", q) }
 	var prods []grammar.Production
-	for l, trans := range n.Trans {
-		for _, tr := range trans {
+	// Iterate labels in sorted order: grammar nonterminal ids are
+	// assigned in production order, so ranging the Trans map directly
+	// would make the reduction nondeterministic across runs.
+	for _, l := range n.Labels() {
+		for _, tr := range n.Trans[l] {
 			prods = append(prods, grammar.Production{
 				LHS: name(tr[0]),
 				RHS: []grammar.Symbol{grammar.T(l), grammar.N(name(tr[1]))},

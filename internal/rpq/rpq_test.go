@@ -192,3 +192,20 @@ func TestRPQViaCFPQProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestToGrammarDeterministic pins the order of the reduction's
+// productions: nonterminal ids downstream are assigned in production
+// order, so iterating the NFA's transition map directly would make the
+// reduced grammar (and anything keyed on its ids) vary across runs.
+func TestToGrammarDeterministic(t *testing.T) {
+	n, err := CompileRegex("a b | c d* | e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ToGrammar(n).String()
+	for i := 0; i < 50; i++ {
+		if got := ToGrammar(n).String(); got != want {
+			t.Fatalf("ToGrammar varies across calls:\n--- first\n%s\n--- later\n%s", want, got)
+		}
+	}
+}

@@ -46,6 +46,24 @@ func TestTensorCancelledContext(t *testing.T) {
 	}
 }
 
+// TestTensorCancelledContextTerminalOnly pins cancellation for a
+// machine whose intersection converges immediately: the seeding loop
+// itself must poll the governor, because the fixpoint body may never
+// run long enough to.
+func TestTensorCancelledContextTerminalOnly(t *testing.T) {
+	r, err := FromGrammar(grammar.MustNew("S", []grammar.Production{
+		{LHS: "S", RHS: []grammar.Symbol{grammar.T("a")}},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.TensorAllPairs(govGraph(8), exec.WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TensorAllPairs err = %v, want context.Canceled", err)
+	}
+}
+
 func TestTensorBudgetAborts(t *testing.T) {
 	r := govRSM(t)
 	g := govGraph(24)

@@ -135,7 +135,12 @@ func (r *RSM) TensorAllPairs(g *graph.Graph, opts ...exec.Option) (map[string]*m
 	defer cancel()
 	n := g.NumVertices()
 	rel := map[string]*matrix.Bool{}
+	// Seeding allocates an n×n matrix (and possibly an identity) per
+	// nonterminal; poll the governor so huge graphs abort promptly.
 	for nt := range r.Nonterms {
+		if err := run.Err(); err != nil {
+			return nil, err
+		}
 		rel[nt] = matrix.NewBool(n, n)
 		// A box whose start state is final accepts eps.
 		for _, f := range r.BoxFinals[nt] {
