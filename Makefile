@@ -7,10 +7,10 @@ GO ?= go
 # module.
 RACE_PKGS = ./internal/gdb ./internal/resp ./internal/cfpq ./internal/exec
 
-.PHONY: check all build vet test race race-quick cover bench bench-quick experiments fuzz fuzz-smoke diff-test diff-test-slow lint lint-tools clean
+.PHONY: check all build vet test race race-quick cover bench bench-quick experiments fuzz fuzz-smoke diff-test diff-test-slow chaos lint lint-tools clean
 
 # Default: what CI runs on every change.
-check: build vet lint test race diff-test
+check: build vet lint test race diff-test chaos
 
 all: build test
 
@@ -38,6 +38,15 @@ diff-test:
 diff-test-slow:
 	$(GO) test -tags=slow -count=1 ./internal/difftest
 
+# Chaos suite: fault-injected crash/recovery over every durability
+# failpoint, plus the hostile-client server tests, race-enabled (see
+# TESTING.md). The nofault build proves the failpoint framework
+# compiles down to no-ops for release builds.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestHostile|TestDispatchPanic|TestBusyShedding|TestShutdownRaces|TestMaxConns|TestIdleTimeout|TestReadBoundedLine' ./internal/gdb ./internal/resp ./internal/fault
+	$(GO) build -tags=nofault ./...
+	$(GO) test -tags=nofault -count=1 ./internal/fault
+
 cover:
 	$(GO) test -cover ./...
 
@@ -59,6 +68,8 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRegex -fuzztime=30s ./internal/rpq/
 	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=30s ./internal/resp/
 	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=30s ./internal/graph/
+	$(GO) test -run=NONE -fuzz=FuzzRecoverJournal -fuzztime=30s ./internal/gdb/
+	$(GO) test -run=NONE -fuzz=FuzzRecoverSnapshot -fuzztime=30s ./internal/gdb/
 
 # Ten-second fuzz pass per target: enough to catch shallow regressions
 # on every CI run without holding the pipeline hostage.
@@ -68,6 +79,8 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzRegex -fuzztime=10s ./internal/rpq/
 	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=10s ./internal/resp/
 	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=10s ./internal/graph/
+	$(GO) test -run=NONE -fuzz=FuzzRecoverJournal -fuzztime=10s ./internal/gdb/
+	$(GO) test -run=NONE -fuzz=FuzzRecoverSnapshot -fuzztime=10s ./internal/gdb/
 
 # Static analysis gate: formatting, the repository's own analyzers
 # (cmd/mscfpq-lint — see DESIGN.md), and, when the pinned tool is

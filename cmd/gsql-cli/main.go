@@ -9,6 +9,7 @@
 //	use <graph>            select the graph for queries
 //	list                   GRAPH.LIST
 //	delete <graph>         GRAPH.DELETE
+//	save                   GRAPH.SAVE (snapshot, durable servers)
 //	explain <query>        GRAPH.EXPLAIN on the selected graph
 //	ping                   PING
 //	quit
@@ -101,6 +102,12 @@ func repl(c *resp.Client, current string, in io.Reader, out io.Writer) error {
 			}
 		case "delete":
 			if err := c.GraphDelete(strings.TrimSpace(rest)); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintln(out, "OK")
+			}
+		case "save":
+			if err := c.GraphSave(); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			} else {
 				fmt.Fprintln(out, "OK")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -72,6 +73,38 @@ list
 	}
 	if !strings.Contains(out, "OK") {
 		t.Fatalf("delete failed:\n%s", out)
+	}
+}
+
+func TestREPLSave(t *testing.T) {
+	dir := t.TempDir()
+	db, err := gdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv := resp.NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(srv.Close)
+	c, err := resp.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	out := runREPL(t, c, `
+CREATE (a:N)-[:e]->(b:N)
+save
+`)
+	if !strings.Contains(out, "OK") {
+		t.Fatalf("save failed:\n%s", out)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshots after save = %v (%v)", snaps, err)
 	}
 }
 

@@ -43,19 +43,24 @@ func main() {
 
 func run() error {
 	var (
-		addr         = flag.String("addr", ":6380", "listen address")
-		queryTimeout = flag.Duration("query-timeout", 0, "default per-query timeout (0 = none; per-query TIMEOUT clause overrides)")
-		maxWork      = flag.Int64("max-work", 0, "per-query work budget in relation entries produced (0 = unlimited)")
-		slowQuery    = flag.Duration("slow-query", 0, "log queries at or above this duration (0 = only aborted queries)")
-		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain deadline")
-		loads        listFlag
-		seeds        listFlag
+		addr          = flag.String("addr", ":6380", "listen address")
+		queryTimeout  = flag.Duration("query-timeout", 0, "default per-query timeout (0 = none; per-query TIMEOUT clause overrides)")
+		maxWork       = flag.Int64("max-work", 0, "per-query work budget in relation entries produced (0 = unlimited)")
+		slowQuery     = flag.Duration("slow-query", 0, "log queries at or above this duration (0 = only aborted queries)")
+		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain deadline")
+		dataDir       = flag.String("data-dir", "", "directory for snapshots and the op journal (empty = in-memory only)")
+		saveInterval  = flag.Duration("save-interval", 0, "auto-snapshot interval for -data-dir stores (0 = only GRAPH.SAVE)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "commands allowed to execute at once before BUSY shedding (0 = unlimited)")
+		maxConns      = flag.Int("max-conns", 0, "simultaneous client connections (0 = unlimited)")
+		idleTimeout   = flag.Duration("idle-timeout", 0, "close connections idle for this long (0 = never)")
+		loads         listFlag
+		seeds         listFlag
 	)
 	flag.Var(&loads, "load", "name=path of a graph file to load (repeatable)")
 	flag.Var(&seeds, "seed", "dataset graph to generate, name[@scale] (repeatable)")
 	flag.Parse()
 
-	db, err := buildDB(loads, seeds, log.Default())
+	db, err := buildDB(*dataDir, loads, seeds, log.Default())
 	if err != nil {
 		return err
 	}
@@ -63,10 +68,14 @@ func run() error {
 		DefaultTimeout: *queryTimeout,
 		MaxWork:        *maxWork,
 		SlowQuery:      *slowQuery,
+		MaxConcurrent:  *maxConcurrent,
+		SaveInterval:   *saveInterval,
 		Log:            log.Default(),
 	})
 	srv := resp.NewServer(db)
 	srv.Logger = log.Default()
+	srv.MaxConns = *maxConns
+	srv.IdleTimeout = *idleTimeout
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err
@@ -92,14 +101,40 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		// A durable store cuts a final snapshot and detaches cleanly, so
+		// the next boot recovers from the snapshot instead of a long
+		// journal replay.
+		if db.Durable() {
+			if err := db.Save(); err != nil {
+				return fmt.Errorf("final snapshot: %w", err)
+			}
+			if err := db.Close(); err != nil {
+				return err
+			}
+		}
 		log.Printf("gsql-server stopped cleanly")
 		return nil
 	}
 }
 
-// buildDB assembles the database from -load and -seed specifications.
-func buildDB(loads, seeds []string, logger *log.Logger) (*gdb.DB, error) {
-	db := gdb.New()
+// buildDB assembles the database: durable (recovered from dataDir's
+// snapshots and journal) when dataDir is set, in-memory otherwise.
+// -load and -seed graphs are provisioned in memory on every boot and
+// are not journaled, but a snapshot (GRAPH.SAVE, -save-interval, or
+// the final one at graceful shutdown) captures the full image, so they
+// persist from the first snapshot on.
+func buildDB(dataDir string, loads, seeds []string, logger *log.Logger) (*gdb.DB, error) {
+	var db *gdb.DB
+	if dataDir != "" {
+		var err error
+		db, err = gdb.Open(dataDir)
+		if err != nil {
+			return nil, err
+		}
+		logger.Printf("recovered %d graph(s) from %s", len(db.List()), dataDir)
+	} else {
+		db = gdb.New()
+	}
 	for _, spec := range loads {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

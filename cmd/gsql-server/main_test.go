@@ -16,7 +16,7 @@ func TestBuildDBLoadAndSeed(t *testing.T) {
 	if err := os.WriteFile(path, []byte("0 a 1\n1 a 2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	db, err := buildDB([]string{"mine=" + path}, []string{"core@0.1"}, silentLogger())
+	db, err := buildDB("", []string{"mine=" + path}, []string{"core@0.1"}, silentLogger())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,9 +39,42 @@ func TestBuildDBErrors(t *testing.T) {
 		{seeds: []string{"core@abc"}},
 	}
 	for i, c := range cases {
-		if _, err := buildDB(c.loads, c.seeds, silentLogger()); err == nil {
+		if _, err := buildDB("", c.loads, c.seeds, silentLogger()); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
+	}
+}
+
+func TestBuildDBDurable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := buildDB(dir, nil, []string{"core@0.1"}, silentLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.Durable() || db.DataDir() != dir {
+		t.Fatal("data-dir database is not durable")
+	}
+	// Journaled work survives a close/reopen cycle; a snapshot captures
+	// the full image, seeded graphs included.
+	if _, err := db.Query("g", `CREATE (a:N)-[:e]->(b:N)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := buildDB(dir, nil, nil, silentLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Get("g"); err != nil {
+		t.Fatalf("created graph not recovered: %v", err)
+	}
+	if _, err := db2.Get("core"); err != nil {
+		t.Fatalf("snapshotted seed graph not recovered: %v", err)
 	}
 }
 

@@ -22,6 +22,12 @@
 // function that never consults the writer's Error method: csv.Flush
 // reports write failures only through Error, so skipping the check
 // silently truncates experiment artifacts.
+//
+// In the durability-critical packages (internal/gdb, internal/fault)
+// the analyzer additionally flags dropped errors from (*os.File).Sync
+// and (*os.File).Close — including behind defer: an fsync error is the
+// only signal that an acknowledged write never reached disk, so
+// discarding one silently voids the crash-recovery guarantee.
 package errdrop
 
 import (
@@ -50,6 +56,57 @@ var scopeSuffixes = []string{
 	"internal/cypher",
 	"internal/resp",
 	"internal/gdb",
+	"internal/fault",
+}
+
+// durableScopes are the package-path fragments where (*os.File).Sync
+// and (*os.File).Close errors are load-bearing: in the persistence and
+// failpoint layers a dropped fsync/close error hides an acknowledged
+// write that never reached disk — precisely the failure the chaos
+// suite exists to catch. Matched by substring so analysistest fixtures
+// under testdata/src/internal/gdb/... qualify.
+var durableScopes = []string{
+	"internal/gdb",
+	"internal/fault",
+}
+
+// inDurableScope reports whether the linted package is one whose file
+// lifecycle errors must be handled.
+func inDurableScope(pass *analysis.Pass) bool {
+	if pass.Pkg == nil {
+		return false
+	}
+	for _, frag := range durableScopes {
+		if strings.Contains(pass.Pkg.Path(), frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// fileLifecycle resolves call to (*os.File).Sync or (*os.File).Close,
+// returning the method name.
+func fileLifecycle(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return "", false
+	}
+	if fn.Name() != "Sync" && fn.Name() != "Close" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	ptr, ok := sig.Recv().Type().(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Name() != "File" {
+		return "", false
+	}
+	return fn.Name(), true
 }
 
 func run(pass *analysis.Pass) error {
@@ -132,6 +189,10 @@ func checkStmtCall(pass *analysis.Pass, e ast.Expr) {
 		pass.Reportf(call.Pos(), "error returned by %s.%s is dropped — handle it or suppress with //lint:ignore errdrop <reason>", fn.Pkg().Name(), fn.Name())
 		return
 	}
+	if name, ok := fileLifecycle(pass, call); ok && inDurableScope(pass) {
+		pass.Reportf(call.Pos(), "error returned by (*os.File).%s is dropped in a durability-critical package — a lost fsync/close error hides data that never reached disk; handle it or suppress with //lint:ignore errdrop <reason>", name)
+		return
+	}
 	checkCSVFlush(pass, call)
 }
 
@@ -166,6 +227,10 @@ func checkAssign(pass *analysis.Pass, assign *ast.AssignStmt) {
 		}
 		if fn, positions := errResults(pass, call); fn != nil && len(positions) > 0 {
 			pass.Reportf(lhs.Pos(), "error returned by %s.%s discarded with _ — handle it or suppress with //lint:ignore errdrop <reason>", fn.Pkg().Name(), fn.Name())
+			continue
+		}
+		if name, ok := fileLifecycle(pass, call); ok && inDurableScope(pass) {
+			pass.Reportf(lhs.Pos(), "error returned by (*os.File).%s discarded with _ in a durability-critical package — a lost fsync/close error hides data that never reached disk; handle it or suppress with //lint:ignore errdrop <reason>", name)
 		}
 	}
 }

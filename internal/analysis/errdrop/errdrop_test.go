@@ -8,5 +8,6 @@ import (
 )
 
 func TestErrdrop(t *testing.T) {
-	analysistest.Run(t, errdrop.Analyzer, "errpos", "errneg")
+	analysistest.Run(t, errdrop.Analyzer, "errpos", "errneg",
+		"internal/gdb/durpos", "internal/gdb/durneg")
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 
 	"mscfpq/internal/grammar"
@@ -30,6 +31,14 @@ func suppressed(r io.Reader) {
 // protect; errdrop is deliberately narrower than errcheck.
 func outOfScope(w io.Writer) {
 	fmt.Fprintln(w, "hello")
+}
+
+// fileCloseOutOfScope drops a close error in a package whose path is
+// not durability-critical; the Sync/Close rule applies only under
+// internal/gdb and internal/fault.
+func fileCloseOutOfScope(f *os.File) {
+	defer f.Close()
+	f.Sync()
 }
 
 // flushChecked consults the csv writer's Error method after Flush.

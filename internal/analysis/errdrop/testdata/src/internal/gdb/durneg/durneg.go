@@ -1,0 +1,34 @@
+// Package durneg holds negatives for the durability-scope rule:
+// handled lifecycle errors, documented suppressions, and methods the
+// rule does not cover.
+package durneg
+
+import "os"
+
+// handled propagates both lifecycle errors.
+func handled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		//lint:ignore errdrop the sync error is the one worth reporting; close cannot add to it
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// suppressed documents why the discard is safe.
+func suppressed(f *os.File) {
+	//lint:ignore errdrop read-only file; close failures cannot lose data
+	_ = f.Close()
+}
+
+// otherMethod drops an error from a method the rule does not single
+// out; os.File.Chdir is outside the durability contract.
+func otherMethod(f *os.File) {
+	f.Chdir()
+}
+
+// valueDiscarded keeps the error.
+func valueDiscarded(f *os.File) error {
+	err := f.Sync()
+	return err
+}

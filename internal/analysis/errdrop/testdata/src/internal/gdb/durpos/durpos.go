@@ -1,0 +1,27 @@
+// Package durpos holds positives for the durability-scope rule: its
+// import path contains internal/gdb, so dropped fsync/close errors are
+// diagnostics.
+package durpos
+
+import "os"
+
+// syncStatementDrop discards the one signal that bytes reached disk.
+func syncStatementDrop(f *os.File) {
+	f.Sync() // want `error returned by \(\*os\.File\)\.Sync is dropped in a durability-critical package`
+}
+
+// closeDeferDrop loses a write-back failure behind defer.
+func closeDeferDrop(f *os.File) {
+	defer f.Close() // want `error returned by \(\*os\.File\)\.Close is dropped in a durability-critical package`
+}
+
+// closeBlankDrop discards the close error explicitly but without a
+// documented reason.
+func closeBlankDrop(f *os.File) {
+	_ = f.Close() // want `error returned by \(\*os\.File\)\.Close discarded with _ in a durability-critical package`
+}
+
+// syncBlankDrop is the blank form of the fsync drop.
+func syncBlankDrop(f *os.File) {
+	_ = f.Sync() // want `error returned by \(\*os\.File\)\.Sync discarded with _ in a durability-critical package`
+}

@@ -1,0 +1,254 @@
+//go:build !nofault
+
+// Package fault is the repository's failpoint framework: named
+// injection points threaded through the persistence and server IO
+// paths that tests arm to return errors, tear writes after N bytes,
+// inject latency, or panic. Production code calls Inject (or wraps a
+// writer with Writer) at each point; with nothing armed the cost is a
+// single atomic load, and the `nofault` build tag compiles the calls
+// down to constant no-ops for release builds.
+//
+// Failpoint names are dotted paths, `<package>.<component>.<step>`
+// (e.g. "gdb.snapshot.rename", "resp.dispatch"); packages declare
+// their points with Declare at init so chaos suites can enumerate
+// every point with Names.
+//
+// Typical test usage:
+//
+//	defer fault.Enable("gdb.journal.sync", fault.Spec{Err: errDisk})()
+//	...
+//	if fault.Hits("gdb.journal.sync") == 0 { t.Fatal("never reached") }
+package fault
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Spec describes what an armed failpoint does when its injection
+// point is hit. Exactly the set fields act; a zero Delay, nil Err and
+// nil Panic with TruncateAfter < 0 is a counting-only probe.
+type Spec struct {
+	// Err is returned from Inject (and from the first write past the
+	// truncation point of a torn Writer).
+	Err error
+	// Panic, when non-nil, makes Inject panic with this value after
+	// Delay — the hook for crash-inside-handler tests.
+	Panic any
+	// Delay is slept before acting — latency injection.
+	Delay time.Duration
+	// TruncateAfter, when positive, makes Writer pass through this
+	// many bytes and then fail every subsequent write (a torn write);
+	// zero leaves wrapped writers untouched.
+	TruncateAfter int64
+	// SkipFirst lets this many hits pass untouched before the spec
+	// starts acting.
+	SkipFirst int
+	// Times bounds how many hits act (after SkipFirst); 0 means every
+	// hit acts until the point is disabled.
+	Times int
+}
+
+// point is one named failpoint. Hit counting and the armed spec are
+// atomic so Inject never takes the registry lock.
+type point struct {
+	name  string
+	spec  atomic.Pointer[Spec]
+	hits  atomic.Int64 // total Inject/Writer hits while armed or not
+	acted atomic.Int64 // hits at which the armed spec acted
+}
+
+var (
+	// armed counts enabled points; Inject short-circuits on zero so an
+	// idle failpoint costs one atomic load.
+	armed atomic.Int64
+
+	regMu    sync.Mutex
+	registry = map[string]*point{} // guarded by regMu
+)
+
+// ErrInjected is the default error returned by an armed failpoint
+// whose Spec has no explicit Err.
+var ErrInjected = fmt.Errorf("fault: injected failure")
+
+// Declare registers failpoint names so Names can enumerate them.
+// Declaring an existing name is a no-op; packages declare their points
+// in a var initializer next to the code that injects them.
+func Declare(names ...string) struct{} {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, n := range names {
+		if registry[n] == nil {
+			registry[n] = &point{name: n}
+		}
+	}
+	return struct{}{}
+}
+
+// Names returns every declared failpoint name, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup returns the named point, declaring it on first use so tests
+// may enable points the production code has not declared explicitly.
+func lookup(name string) *point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	p := registry[name]
+	if p == nil {
+		p = &point{name: name}
+		registry[name] = p
+	}
+	return p
+}
+
+// Enable arms a failpoint and returns the function that disarms it
+// (idiomatically deferred). Re-enabling an armed point replaces its
+// spec. Hit counters reset on Enable.
+func Enable(name string, s Spec) func() {
+	p := lookup(name)
+	sp := s
+	if p.spec.Swap(&sp) == nil {
+		armed.Add(1)
+	}
+	p.hits.Store(0)
+	p.acted.Store(0)
+	return func() { Disable(name) }
+}
+
+// Disable disarms a failpoint; disarming an idle point is a no-op.
+func Disable(name string) {
+	p := lookup(name)
+	if p.spec.Swap(nil) != nil {
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every failpoint — test cleanup.
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, p := range registry {
+		if p.spec.Swap(nil) != nil {
+			armed.Add(-1)
+		}
+	}
+}
+
+// Hits reports how many times the named point was reached since it
+// was last enabled.
+func Hits(name string) int64 { return lookup(name).hits.Load() }
+
+// Active reports whether any failpoint is armed.
+func Active() bool { return armed.Load() > 0 }
+
+// Inject is the injection point: it returns nil unless the named
+// failpoint is armed, in which case it counts the hit, sleeps the
+// spec's Delay, panics if the spec says so, and returns the spec's
+// error (ErrInjected when the spec has none and is not purely a
+// latency/counting probe with TruncateAfter semantics).
+func Inject(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	p := lookup(name)
+	s := p.spec.Load()
+	if s == nil {
+		return nil
+	}
+	hit := p.hits.Add(1)
+	if s.TruncateAfter > 0 {
+		// Truncating specs act through Writer at the same name; Inject
+		// only counts the hit.
+		return nil
+	}
+	if !s.actsOn(hit, &p.acted) {
+		return nil
+	}
+	if s.Delay > 0 {
+		time.Sleep(s.Delay)
+	}
+	if s.Panic != nil {
+		panic(s.Panic)
+	}
+	if s.Err != nil {
+		return s.Err
+	}
+	if s.Delay > 0 {
+		return nil // pure latency probe
+	}
+	return ErrInjected
+}
+
+// actsOn applies the SkipFirst/Times window to the hit ordinal.
+func (s *Spec) actsOn(hit int64, acted *atomic.Int64) bool {
+	if hit <= int64(s.SkipFirst) {
+		return false
+	}
+	if s.Times > 0 && acted.Add(1) > int64(s.Times) {
+		return false
+	}
+	return true
+}
+
+// Writer wraps w with the named failpoint's torn-write behaviour:
+// while the point is armed with TruncateAfter >= 0, the wrapper
+// passes TruncateAfter bytes through and then fails every write with
+// the spec's error (short-writing the straddling chunk), simulating a
+// crash that tore the stream mid-record. With the point idle, or
+// armed without truncation, w is returned untouched.
+func Writer(name string, w io.Writer) io.Writer {
+	if armed.Load() == 0 {
+		return w
+	}
+	p := lookup(name)
+	s := p.spec.Load()
+	if s == nil || s.TruncateAfter <= 0 {
+		return w
+	}
+	hit := p.hits.Add(1)
+	if !s.actsOn(hit, &p.acted) {
+		return w
+	}
+	err := s.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	return &tornWriter{w: w, left: s.TruncateAfter, err: err}
+}
+
+// tornWriter delivers the first `left` bytes and fails afterwards.
+type tornWriter struct {
+	w    io.Writer
+	left int64
+	err  error
+}
+
+func (t *tornWriter) Write(b []byte) (int, error) {
+	if t.left <= 0 {
+		return 0, t.err
+	}
+	if int64(len(b)) <= t.left {
+		n, err := t.w.Write(b)
+		t.left -= int64(n)
+		return n, err
+	}
+	n, err := t.w.Write(b[:t.left])
+	t.left -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, t.err
+}

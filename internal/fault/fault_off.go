@@ -1,0 +1,54 @@
+//go:build nofault
+
+// Release-build stubs: with the `nofault` tag every injection point
+// compiles to a constant no-op the inliner erases, so production
+// binaries carry no failpoint machinery at all. The arming API stays
+// present (tests are built without the tag; non-test callers only
+// Declare) but arms nothing.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Spec mirrors the instrumented build's Spec; see fault.go.
+type Spec struct {
+	Err           error
+	Panic         any
+	Delay         time.Duration
+	TruncateAfter int64
+	SkipFirst     int
+	Times         int
+}
+
+// ErrInjected mirrors the instrumented build's sentinel.
+var ErrInjected = fmt.Errorf("fault: injected failure")
+
+// Declare is a no-op in release builds.
+func Declare(...string) struct{} { return struct{}{} }
+
+// Names reports no failpoints in release builds.
+func Names() []string { return nil }
+
+// Enable arms nothing in release builds.
+func Enable(string, Spec) func() { return func() {} }
+
+// Disable is a no-op in release builds.
+func Disable(string) {}
+
+// Reset is a no-op in release builds.
+func Reset() {}
+
+// Hits always reports zero in release builds.
+func Hits(string) int64 { return 0 }
+
+// Active always reports false in release builds.
+func Active() bool { return false }
+
+// Inject is a constant no-op in release builds.
+func Inject(string) error { return nil }
+
+// Writer returns w untouched in release builds.
+func Writer(_ string, w io.Writer) io.Writer { return w }

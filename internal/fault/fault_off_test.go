@@ -1,0 +1,29 @@
+//go:build nofault
+
+package fault_test
+
+import (
+	"strings"
+	"testing"
+
+	"mscfpq/internal/fault"
+)
+
+// TestReleaseStubsAreInert pins the nofault contract `make chaos`
+// relies on: arming is accepted but does nothing, injection never
+// fires, and writers pass through untouched.
+func TestReleaseStubsAreInert(t *testing.T) {
+	defer fault.Enable("gdb.journal.append", fault.Spec{Err: fault.ErrInjected, Panic: "boom"})()
+	if err := fault.Inject("gdb.journal.append"); err != nil {
+		t.Fatalf("Inject in a nofault build returned %v", err)
+	}
+	var sb strings.Builder
+	if w := fault.Writer("gdb.journal.append", &sb); w != &sb {
+		t.Fatalf("Writer in a nofault build wrapped the writer: %T", w)
+	}
+	if fault.Active() || fault.Names() != nil || fault.Hits("gdb.journal.append") != 0 {
+		t.Fatal("nofault build reports armed failpoint state")
+	}
+	fault.Disable("gdb.journal.append")
+	fault.Reset()
+}

@@ -1,0 +1,145 @@
+//go:build !nofault
+
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInjectIdleIsTransparent(t *testing.T) {
+	Reset()
+	if err := Inject("idle.point"); err != nil {
+		t.Fatalf("idle Inject = %v", err)
+	}
+	if Active() {
+		t.Fatal("Active with nothing armed")
+	}
+}
+
+func TestInjectError(t *testing.T) {
+	Reset()
+	boom := errors.New("boom")
+	disable := Enable("t.err", Spec{Err: boom})
+	if err := Inject("t.err"); !errors.Is(err, boom) {
+		t.Fatalf("Inject = %v, want boom", err)
+	}
+	if Hits("t.err") != 1 {
+		t.Fatalf("hits = %d", Hits("t.err"))
+	}
+	disable()
+	if err := Inject("t.err"); err != nil {
+		t.Fatalf("Inject after disable = %v", err)
+	}
+}
+
+func TestInjectDefaultError(t *testing.T) {
+	Reset()
+	defer Enable("t.def", Spec{})()
+	if err := Inject("t.def"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Inject = %v, want ErrInjected", err)
+	}
+}
+
+func TestInjectPanic(t *testing.T) {
+	Reset()
+	defer Enable("t.panic", Spec{Panic: "kapow"})()
+	defer func() {
+		if r := recover(); r != "kapow" {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	//lint:ignore errdrop the call panics; there is no error to see
+	_ = Inject("t.panic")
+	t.Fatal("Inject did not panic")
+}
+
+func TestInjectDelayOnly(t *testing.T) {
+	Reset()
+	defer Enable("t.delay", Spec{Delay: 20 * time.Millisecond})()
+	start := time.Now()
+	if err := Inject("t.delay"); err != nil {
+		t.Fatalf("latency probe returned %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("Inject returned after %v, want >= 20ms sleep", elapsed)
+	}
+}
+
+func TestSkipFirstAndTimes(t *testing.T) {
+	Reset()
+	defer Enable("t.window", Spec{SkipFirst: 2, Times: 1})()
+	var failures int
+	for i := 0; i < 5; i++ {
+		if Inject("t.window") != nil {
+			failures++
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want exactly 1 (skip 2, act once)", failures)
+	}
+	if Hits("t.window") != 5 {
+		t.Fatalf("hits = %d, want 5", Hits("t.window"))
+	}
+}
+
+func TestTornWriter(t *testing.T) {
+	Reset()
+	defer Enable("t.torn", Spec{TruncateAfter: 5})()
+	var buf bytes.Buffer
+	w := Writer("t.torn", &buf)
+	n, err := w.Write([]byte("abcdefgh"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = (%d, %v), want (5, ErrInjected)", n, err)
+	}
+	if buf.String() != "abcde" {
+		t.Fatalf("delivered %q, want %q", buf.String(), "abcde")
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || err == nil {
+		t.Fatalf("write past tear = (%d, %v), want (0, err)", n, err)
+	}
+}
+
+func TestWriterTransparentWithoutTruncate(t *testing.T) {
+	Reset()
+	var buf bytes.Buffer
+	if w := Writer("t.none", &buf); w != &buf {
+		t.Fatal("idle Writer wrapped")
+	}
+	defer Enable("t.errOnly", Spec{Err: errors.New("x")})()
+	if w := Writer("t.errOnly", &buf); w != &buf {
+		t.Fatal("error-only spec wrapped the writer")
+	}
+}
+
+func TestDeclareAndNames(t *testing.T) {
+	Reset()
+	Declare("a.one", "a.two")
+	Declare("a.one") // idempotent
+	names := Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	if !seen["a.one"] || !seen["a.two"] {
+		t.Fatalf("Names() = %v, missing declared points", names)
+	}
+}
+
+func TestResetDisarmsEverything(t *testing.T) {
+	Reset()
+	Enable("t.r1", Spec{})
+	Enable("t.r2", Spec{})
+	if !Active() {
+		t.Fatal("not active after Enable")
+	}
+	Reset()
+	if Active() {
+		t.Fatal("still active after Reset")
+	}
+	if err := Inject("t.r1"); err != nil {
+		t.Fatalf("Inject after Reset = %v", err)
+	}
+}

@@ -1,0 +1,460 @@
+package gdb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mscfpq/internal/cypher"
+	"mscfpq/internal/fault"
+)
+
+// durability is the crash-safety layer attached to a DB opened with
+// Open: an append-only operation journal paired with atomic disk
+// snapshots, plus the background auto-saver driven by
+// Policy.SaveInterval.
+//
+// Invariant: snapshot seq N contains exactly the mutations journaled
+// in wal sequences < N plus those of wal N that never happened (wal N
+// starts empty at rotation). commitMu enforces the cut: every mutation
+// holds it shared from journal append through in-memory apply, and
+// Save holds it exclusively from state capture through journal
+// rotation, so no acknowledged mutation can fall between a snapshot
+// and the journal that survives it.
+type durability struct {
+	dir string
+
+	// commitMu orders mutations against snapshots (see above).
+	commitMu sync.RWMutex
+
+	mu     sync.Mutex
+	seq    uint64   // guarded by mu: sequence of the live snapshot/journal pair
+	jf     *os.File // guarded by mu: open journal, nil after Close
+	closed bool     // guarded by mu
+	broken error    // guarded by mu: set when a failed append could not be rolled back; a successful Save clears it
+
+	// Auto-saver lifecycle: kick wakes it on policy changes, stop ends
+	// it, done closes when it exits.
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// ErrClosed is returned by mutations and saves on a closed database.
+var ErrClosed = errors.New("gdb: database is closed")
+
+// ErrNotDurable is returned by Save on a database without a data
+// directory.
+var ErrNotDurable = errors.New("gdb: database has no data directory (opened with New, not Open)")
+
+// Open loads (or initializes) a durable database rooted at dir:
+// leftover temp files are discarded, the newest valid snapshot is
+// loaded (older ones are fallbacks against corruption), its paired
+// journal is replayed — truncating a torn tail instead of failing —
+// and the journal is reopened for appending. The returned DB journals
+// every mutating command before acknowledging it; use Save (or
+// Policy.SaveInterval) to cut snapshots and Close to detach cleanly.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("gdb: open %s: %w", dir, err)
+	}
+	removeTempFiles(dir)
+
+	db := New()
+	dur := &durability{
+		dir:  dir,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+
+	seq, stores, err := loadNewestSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.graphs = stores
+	db.mu.Unlock()
+
+	if err := dur.replayInto(db, seq); err != nil {
+		return nil, err
+	}
+
+	jf, err := os.OpenFile(journalPath(dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("gdb: open journal: %w", err)
+	}
+	dur.seq = seq
+	dur.jf = jf
+	db.dur = dur
+	go db.autoSaver()
+	return db, nil
+}
+
+// Durable reports whether the database journals to disk.
+func (db *DB) Durable() bool { return db.dur != nil }
+
+// DataDir returns the durable database's directory ("" when opened
+// with New).
+func (db *DB) DataDir() string {
+	if db.dur == nil {
+		return ""
+	}
+	return db.dur.dir
+}
+
+// removeTempFiles discards snapshot temp files left by a crash
+// mid-write; they were never renamed into place so they hold nothing
+// durable.
+func removeTempFiles(dir string) {
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		return
+	}
+	for _, t := range tmps {
+		//lint:ignore errdrop best-effort cleanup; a stale temp file is inert
+		_ = os.Remove(t)
+	}
+}
+
+// snapshotSeqs lists the sequences with a snapshot file in dir,
+// ascending.
+func snapshotSeqs(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "snap-", ".snap"); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// loadNewestSnapshot returns the stores of the newest snapshot that
+// validates, falling back to older ones on damage. No snapshot at all
+// is a fresh database (seq 0); snapshots present but none valid is an
+// error — silently starting empty would masquerade as data loss.
+func loadNewestSnapshot(dir string) (uint64, map[string]*GraphStore, error) {
+	seqs, err := snapshotSeqs(dir)
+	if err != nil {
+		return 0, nil, fmt.Errorf("gdb: open %s: %w", dir, err)
+	}
+	if len(seqs) == 0 {
+		return 0, map[string]*GraphStore{}, nil
+	}
+	var firstErr error
+	for i := len(seqs) - 1; i >= 0; i-- {
+		stores, err := readSnapshotFile(snapshotPath(dir, seqs[i]))
+		if err == nil {
+			return seqs[i], stores, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return 0, nil, fmt.Errorf("gdb: no valid snapshot in %s (newest: %w)", dir, firstErr)
+}
+
+// replayInto re-applies the journal paired with snapshot seq and
+// truncates any torn tail so the next append starts on a record
+// boundary.
+func (dur *durability) replayInto(db *DB, seq uint64) error {
+	path := journalPath(dur.dir, seq)
+	ops, good, torn, err := readJournal(path)
+	if err != nil {
+		return fmt.Errorf("gdb: journal replay: %w", err)
+	}
+	for _, op := range ops {
+		if err := db.applyOp(op); err != nil {
+			return fmt.Errorf("gdb: journal replay: %w", err)
+		}
+	}
+	if torn {
+		if err := os.Truncate(path, good); err != nil {
+			return fmt.Errorf("gdb: truncating torn journal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyOp applies one journaled mutation during replay.
+func (db *DB) applyOp(op journalOp) error {
+	switch op.op {
+	case opCypher:
+		q, err := cypher.Parse(op.arg)
+		if err != nil || q.Create == nil {
+			return fmt.Errorf("gdb: journaled statement no longer parses as a write: %q", op.arg)
+		}
+		// Replay repeats the original call exactly; a statement that
+		// failed halfway when journaled fails at the same point now,
+		// reproducing the acknowledged (partial) state.
+		//lint:ignore errdrop the op's error was already delivered to the client when it ran live
+		_, _ = db.runCreate(op.name, q)
+		return nil
+	case opRestore:
+		s, err := ReadStore(strings.NewReader(op.arg))
+		if err != nil {
+			return fmt.Errorf("gdb: journaled restore of %q no longer decodes: %w", op.name, err)
+		}
+		db.mu.Lock()
+		db.graphs[op.name] = s
+		db.mu.Unlock()
+		return nil
+	case opDelete:
+		db.mu.Lock()
+		delete(db.graphs, op.name)
+		db.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("gdb: unknown journal opcode %q", op.op)
+	}
+}
+
+// commit journals op (when durable) and then runs apply, holding the
+// commit lock shared across both so a concurrent Save sees either none
+// or all of the mutation. The journal append is fsynced before apply
+// runs: an acknowledged mutation is always recoverable.
+func (db *DB) commit(op journalOp, apply func()) error {
+	if db.dur == nil {
+		apply()
+		return nil
+	}
+	db.dur.commitMu.RLock()
+	defer db.dur.commitMu.RUnlock()
+	// The journal section unlocks by defer so a panicking handler (or
+	// an armed panic failpoint) cannot wedge the mutex for the whole
+	// database.
+	err := func() error {
+		db.dur.mu.Lock()
+		defer db.dur.mu.Unlock()
+		if db.dur.closed {
+			return ErrClosed
+		}
+		if db.dur.broken != nil {
+			return fmt.Errorf("gdb: journal unusable (GRAPH.SAVE rotates in a fresh one): %w", db.dur.broken)
+		}
+		st, err := db.dur.jf.Stat()
+		if err != nil {
+			return fmt.Errorf("gdb: journal append: %w", err)
+		}
+		if err := appendJournal(db.dur.jf, op); err != nil {
+			// Roll the partial record back: replay stops at the first
+			// torn record, so leaving its bytes in place would strand
+			// every record appended after it. If even the rollback
+			// fails the journal is unusable until a Save rotates it
+			// out.
+			if terr := db.dur.jf.Truncate(st.Size()); terr != nil {
+				db.dur.broken = terr
+			}
+			return err
+		}
+		return nil
+	}()
+	if err != nil {
+		return err
+	}
+	apply()
+	return nil
+}
+
+// Save cuts a snapshot: the full database image is written atomically
+// under the next sequence, the journal rotates to a fresh file, and
+// stale snapshots/journals are pruned (the previous snapshot is kept
+// as a fallback against bit rot). Concurrent mutations block for the
+// duration; queries do not. This is the GRAPH.SAVE command.
+func (db *DB) Save() error {
+	if db.dur == nil {
+		return ErrNotDurable
+	}
+	dur := db.dur
+	dur.commitMu.Lock()
+	defer dur.commitMu.Unlock()
+
+	dur.mu.Lock()
+	closed, seq := dur.closed, dur.seq
+	dur.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+
+	db.mu.RLock()
+	stores := make(map[string]*GraphStore, len(db.graphs))
+	for name, s := range db.graphs {
+		stores[name] = s
+	}
+	db.mu.RUnlock()
+
+	// Crash-ordering invariant: the next journal is created and made
+	// durable BEFORE the snapshot is renamed into place, so a snapshot
+	// that is visible always has its paired journal on disk — recovery
+	// never faces a snapshot whose acknowledged successors lived in a
+	// journal it does not know to replay. A failed (or crashed) save
+	// leaves at worst a stale empty wal file, which the next save
+	// truncates and reuses.
+	next := seq + 1
+	nf, err := dur.prepareJournal(next)
+	if err != nil {
+		return err
+	}
+	if err := writeSnapshotFile(dur.dir, next, stores); err != nil {
+		//lint:ignore errdrop the snapshot failure is the error to surface; the spare journal file is inert
+		_ = nf.Close()
+		// Undo — snapshot first: when the failure struck after the
+		// rename (the dirsync step), leaving the new snapshot visible
+		// while journaling continues under the old sequence would
+		// strand every later acked record at recovery. ErrNotExist just
+		// means the rename never happened; any other removal failure
+		// poisons the journal so mutations stop until a Save heals it.
+		if rerr := os.Remove(snapshotPath(dur.dir, next)); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+			dur.mu.Lock()
+			dur.broken = rerr
+			dur.mu.Unlock()
+		} else {
+			//lint:ignore errdrop best-effort cleanup; a stale empty journal is truncated on the next save
+			_ = os.Remove(journalPath(dur.dir, next))
+		}
+		return err
+	}
+	// The new snapshot is durable: swap journals. The swap is pure
+	// memory and cannot fail; a close error on the retired journal
+	// cannot lose data (every record in it was already fsynced). A
+	// poisoned journal is healed here — its garbage tail retires with
+	// the old file.
+	dur.mu.Lock()
+	old := dur.jf
+	dur.jf = nf
+	dur.seq = next
+	dur.broken = nil
+	dur.mu.Unlock()
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("gdb: journal rotate: closing previous journal: %w", err)
+	}
+	dur.prune(next)
+	return nil
+}
+
+// prepareJournal creates (or truncates) the journal of the next
+// sequence and fsyncs the directory, so the file is durable before the
+// snapshot it pairs with becomes visible.
+func (dur *durability) prepareJournal(next uint64) (*os.File, error) {
+	if err := fault.Inject(FPJournalRotate); err != nil {
+		return nil, fmt.Errorf("gdb: journal rotate: %w", err)
+	}
+	nf, err := os.OpenFile(journalPath(dur.dir, next), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("gdb: journal rotate: %w", err)
+	}
+	if err := syncDir(dur.dir); err != nil {
+		//lint:ignore errdrop the dirsync failure is the error to surface; the spare journal file is inert
+		_ = nf.Close()
+		return nil, fmt.Errorf("gdb: journal rotate: %w", err)
+	}
+	return nf, nil
+}
+
+// prune removes snapshots older than the previous one and journals of
+// retired sequences. Best-effort: a leftover file wastes disk but
+// cannot corrupt recovery, which always prefers the newest valid pair.
+func (dur *durability) prune(current uint64) {
+	entries, err := os.ReadDir(dur.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && current >= 2 && seq < current-1 {
+			//lint:ignore errdrop best-effort pruning; stale snapshots are harmless
+			_ = os.Remove(filepath.Join(dur.dir, e.Name()))
+		}
+		if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok && seq < current {
+			//lint:ignore errdrop best-effort pruning; retired journals are harmless
+			_ = os.Remove(filepath.Join(dur.dir, e.Name()))
+		}
+	}
+}
+
+// Close stops the auto-saver and detaches the journal after a final
+// fsync. Further mutations and saves return ErrClosed; queries keep
+// answering from memory. Close does not cut a final snapshot — callers
+// wanting one call Save first (gsql-server does on graceful
+// shutdown).
+func (db *DB) Close() error {
+	if db.dur == nil {
+		return nil
+	}
+	dur := db.dur
+	dur.mu.Lock()
+	if dur.closed {
+		dur.mu.Unlock()
+		return nil
+	}
+	dur.closed = true
+	jf := dur.jf
+	dur.jf = nil
+	dur.mu.Unlock()
+
+	close(dur.stop)
+	<-dur.done
+
+	if err := jf.Sync(); err != nil {
+		//lint:ignore errdrop the sync failure is the error to surface; close cannot add to it
+		_ = jf.Close()
+		return fmt.Errorf("gdb: close: %w", err)
+	}
+	if err := jf.Close(); err != nil {
+		return fmt.Errorf("gdb: close: %w", err)
+	}
+	return nil
+}
+
+// autoSaver cuts snapshots every Policy.SaveInterval. A zero interval
+// parks until SetPolicy kicks it; save failures are reported to the
+// policy log and retried next interval.
+func (db *DB) autoSaver() {
+	defer close(db.dur.done)
+	for {
+		var tick <-chan time.Time
+		var timer *time.Timer
+		if iv := db.Policy().SaveInterval; iv > 0 {
+			timer = time.NewTimer(iv)
+			tick = timer.C
+		}
+		select {
+		case <-db.dur.stop:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case <-db.dur.kick:
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-tick:
+			if err := db.Save(); err != nil && !errors.Is(err, ErrClosed) {
+				if l := db.Policy().Log; l != nil {
+					l.Printf("auto-save failed: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// kickAutoSaver wakes the auto-saver so a policy change takes effect
+// immediately.
+func (db *DB) kickAutoSaver() {
+	if db.dur == nil {
+		return
+	}
+	select {
+	case db.dur.kick <- struct{}{}:
+	default:
+	}
+}

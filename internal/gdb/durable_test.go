@@ -1,0 +1,329 @@
+package gdb
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// reopen simulates a crash-and-restart: the DB is abandoned without
+// Close (its journal fd leaks for the test's lifetime, like a killed
+// process's) and the directory is recovered fresh.
+func reopen(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() {
+		if err := db.Close(); err != nil && !errors.Is(err, ErrClosed) {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return db
+}
+
+func mustQuery(t *testing.T, db *DB, graph, src string) *QueryResult {
+	t.Helper()
+	res, err := db.Query(graph, src)
+	if err != nil {
+		t.Fatalf("Query(%s, %q): %v", graph, src, err)
+	}
+	return res
+}
+
+// dumpAll renders every graph, keyed by name — the state fingerprint
+// the recovery tests compare.
+func dumpAll(t *testing.T, db *DB) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, name := range db.List() {
+		d, err := db.Dump(name)
+		if err != nil {
+			t.Fatalf("Dump(%s): %v", name, err)
+		}
+		out[name] = d
+	}
+	return out
+}
+
+func sameState(t *testing.T, want, got map[string]string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("graph sets differ: want %d graphs, got %d", len(want), len(got))
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Fatalf("graph %q differs after recovery:\nwant:\n%s\ngot:\n%s", name, w, got[name])
+		}
+	}
+}
+
+func TestOpenEmptyAndJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	if !db.Durable() || db.DataDir() != dir {
+		t.Fatal("Open did not attach durability")
+	}
+	mustQuery(t, db, "g", `CREATE (a:N {name: 'x'})-[:e]->(b:N)`)
+	mustQuery(t, db, "g", `CREATE (a:M)-[:f]->(b:M)`)
+	want := dumpAll(t, db)
+
+	db2 := reopen(t, dir) // journal-only recovery: no snapshot yet
+	sameState(t, want, dumpAll(t, db2))
+	res := mustQuery(t, db2, "g", `MATCH (v:N)-[:e]->(u) RETURN v, u`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("replayed graph rows = %d, want 1", len(res.Rows))
+	}
+}
+
+func TestSaveSnapshotAndRotate(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "g", `CREATE (a:N)-[:e]->(b:N)`)
+	if err := db.Save(); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if _, err := os.Stat(snapshotPath(dir, 1)); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+	if _, err := os.Stat(journalPath(dir, 1)); err != nil {
+		t.Fatalf("rotated journal missing: %v", err)
+	}
+	if _, err := os.Stat(journalPath(dir, 0)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("retired journal not pruned: %v", err)
+	}
+	// Ops after the snapshot land in the new journal.
+	mustQuery(t, db, "h", `CREATE (a:X)`)
+	want := dumpAll(t, db)
+
+	db2 := reopen(t, dir)
+	sameState(t, want, dumpAll(t, db2))
+}
+
+func TestDeleteAndRestoreAreJournaled(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "a", `CREATE (x:N)`)
+	mustQuery(t, db, "b", `CREATE (y:M)`)
+	dump, err := db.Dump("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := db.Delete("a"); !ok || err != nil {
+		t.Fatalf("Delete = (%v, %v)", ok, err)
+	}
+	if err := db.Restore("c", dump); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	want := dumpAll(t, db)
+
+	db2 := reopen(t, dir)
+	sameState(t, want, dumpAll(t, db2))
+	if _, err := db2.Get("a"); err == nil {
+		t.Fatal("deleted graph resurrected by replay")
+	}
+}
+
+func TestTornJournalTailIsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "g", `CREATE (a:N)-[:e]->(b:N)`)
+	want := dumpAll(t, db)
+
+	// Tear the tail: append half a record's worth of garbage.
+	path := journalPath(dir, 0)
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(intact, 0x00, 0x01, 0x02, 0x03, 0x04), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := reopen(t, dir)
+	sameState(t, want, dumpAll(t, db2))
+	// The tail was physically truncated so appends restart cleanly.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(intact) {
+		t.Fatalf("journal length after recovery = %d, want %d", len(after), len(intact))
+	}
+	mustQuery(t, db2, "g", `CREATE (c:P)`)
+	db3 := reopen(t, dir)
+	sameState(t, dumpAll(t, db2), dumpAll(t, db3))
+}
+
+func TestCorruptNewestSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "g", `CREATE (a:N)`)
+	if err := db.Save(); err != nil { // snap-1
+		t.Fatal(err)
+	}
+	want := dumpAll(t, db)
+	mustQuery(t, db, "g", `CREATE (b:M)`)
+	if err := db.Save(); err != nil { // snap-2; snap-1 kept as fallback
+		t.Fatal(err)
+	}
+
+	// Bit-rot the newest snapshot: recovery must fall back to snap-1.
+	// wal-1 was pruned at rotation, so the fallback state is snap-1's.
+	if err := os.WriteFile(snapshotPath(dir, 2), []byte("rotten"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2 := reopen(t, dir)
+	sameState(t, want, dumpAll(t, db2))
+}
+
+func TestAllSnapshotsCorruptIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "g", `CREATE (a:N)`)
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapshotPath(dir, 1), []byte("rotten"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open succeeded with every snapshot corrupt; want an explicit error, not silent data loss")
+	}
+}
+
+func TestClosedDatabaseRefusesMutations(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "g", `CREATE (a:N)`)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	if _, err := db.Query("g", `CREATE (b:M)`); !errors.Is(err, ErrClosed) {
+		t.Fatalf("mutation after Close = %v, want ErrClosed", err)
+	}
+	if err := db.Save(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Save after Close = %v, want ErrClosed", err)
+	}
+	// Reads still answer from memory.
+	res := mustQuery(t, db, "g", `MATCH (v:N) RETURN v`)
+	if len(res.Rows) != 1 {
+		t.Fatal("read after Close lost data")
+	}
+}
+
+func TestSaveOnInMemoryDBErrors(t *testing.T) {
+	db := New()
+	if err := db.Save(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("Save on in-memory DB = %v, want ErrNotDurable", err)
+	}
+	if db.Durable() || db.DataDir() != "" {
+		t.Fatal("in-memory DB claims durability")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close on in-memory DB = %v", err)
+	}
+}
+
+func TestAutoSaveInterval(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "g", `CREATE (a:N)`)
+	db.SetPolicy(Policy{SaveInterval: 20 * time.Millisecond})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(snapshotPath(dir, 1)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto-saver cut no snapshot within 5s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestTempFilesCleanedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "snap-12345.tmp")
+	if err := os.WriteFile(stale, []byte("half a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopen(t, dir)
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("stale temp file survived Open: %v", err)
+	}
+}
+
+func TestJournalRecordRoundTrip(t *testing.T) {
+	ops := []journalOp{
+		{op: opCypher, name: "g", arg: `CREATE (a:N)`},
+		{op: opRestore, name: "with spaces", arg: "order 1\n"},
+		{op: opDelete, name: "g"},
+	}
+	for _, op := range ops {
+		enc := op.encode()
+		got, err := decodeJournalOp(enc[8:])
+		if err != nil {
+			t.Fatalf("decode(%q): %v", op.op, err)
+		}
+		if got != op {
+			t.Fatalf("round trip = %+v, want %+v", got, op)
+		}
+	}
+	if _, err := decodeJournalOp([]byte("short")); err == nil {
+		t.Fatal("short payload decoded")
+	}
+	if _, err := decodeJournalOp([]byte{'Z', 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unknown opcode decoded")
+	}
+}
+
+func TestSnapshotRoundTripMultipleGraphs(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "one", `CREATE (a:N {k: 1})-[:e]->(b:N)`)
+	mustQuery(t, db, "two", `CREATE (a:M {s: 'v'})`)
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	stores, err := readSnapshotFile(snapshotPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stores) != 2 || stores["one"] == nil || stores["two"] == nil {
+		t.Fatalf("snapshot stores = %v", stores)
+	}
+	if !stores["one"].Graph().HasEdge(0, "e", 1) {
+		t.Fatal("edge lost through snapshot")
+	}
+}
+
+func TestSnapshotRejectsTrailingGarbage(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "g", `CREATE (a:N)`)
+	if err := db.Save(); err != nil {
+		t.Fatal(err)
+	}
+	path := snapshotPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, "extra"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSnapshotFile(path); err == nil || !strings.Contains(err.Error(), "trailing garbage") {
+		t.Fatalf("readSnapshotFile = %v, want trailing-garbage error", err)
+	}
+}

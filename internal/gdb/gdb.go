@@ -25,6 +25,10 @@ type DB struct {
 
 	polMu  sync.RWMutex
 	policy Policy // guarded by polMu
+
+	// dur is the crash-safety layer, nil for in-memory databases (New);
+	// set once by Open before the DB is shared, immutable afterwards.
+	dur *durability
 }
 
 // New returns an empty database.
@@ -153,13 +157,25 @@ func (db *DB) Get(name string) (*GraphStore, error) {
 	return s, nil
 }
 
-// Delete removes a graph; it reports whether it existed.
-func (db *DB) Delete(name string) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// Delete removes a graph; it reports whether it existed. On a durable
+// database the deletion is journaled before it is applied; a non-nil
+// error means the journal append failed and the graph was NOT removed.
+func (db *DB) Delete(name string) (bool, error) {
+	db.mu.RLock()
 	_, ok := db.graphs[name]
-	delete(db.graphs, name)
-	return ok
+	db.mu.RUnlock()
+	if !ok {
+		return false, nil
+	}
+	err := db.commit(journalOp{op: opDelete, name: name}, func() {
+		db.mu.Lock()
+		delete(db.graphs, name)
+		db.mu.Unlock()
+	})
+	if err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // List returns the sorted graph names.

@@ -133,8 +133,11 @@ func TestDeleteAndList(t *testing.T) {
 	if got := db.List(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
 		t.Fatalf("list = %v", got)
 	}
-	if !db.Delete("A") || db.Delete("A") {
-		t.Fatal("delete semantics wrong")
+	if ok, err := db.Delete("A"); !ok || err != nil {
+		t.Fatalf("first delete = (%v, %v)", ok, err)
+	}
+	if ok, err := db.Delete("A"); ok || err != nil {
+		t.Fatalf("second delete = (%v, %v)", ok, err)
 	}
 	if got := db.List(); len(got) != 1 || got[0] != "B" {
 		t.Fatalf("list after delete = %v", got)

@@ -118,14 +118,16 @@ func (db *DB) Dump(name string) (string, error) {
 }
 
 // Restore loads a dumped graph under the given name, replacing any
-// existing graph.
+// existing graph. On a durable database the restore is journaled (and
+// fsynced) before it is applied.
 func (db *DB) Restore(name, dump string) error {
 	s, err := ReadStore(strings.NewReader(dump))
 	if err != nil {
 		return err
 	}
-	db.mu.Lock()
-	db.graphs[name] = s
-	db.mu.Unlock()
-	return nil
+	return db.commit(journalOp{op: opRestore, name: name, arg: dump}, func() {
+		db.mu.Lock()
+		db.graphs[name] = s
+		db.mu.Unlock()
+	})
 }

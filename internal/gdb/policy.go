@@ -24,6 +24,14 @@ type Policy struct {
 	// written to the slow-query log; 0 disables slow logging (aborted
 	// queries are still logged).
 	SlowQuery time.Duration
+	// MaxConcurrent bounds the number of commands the RESP server
+	// executes at once; excess commands are shed with a BUSY error
+	// instead of queueing unboundedly. 0 means unlimited.
+	MaxConcurrent int
+	// SaveInterval is the auto-save period of a durable database
+	// (Open): a snapshot is cut and the journal rotated this often.
+	// 0 disables auto-saving; explicit Save/GRAPH.SAVE still works.
+	SaveInterval time.Duration
 	// Log receives structured slow-query and aborted-query lines; nil
 	// disables logging.
 	Log *log.Logger
@@ -32,8 +40,9 @@ type Policy struct {
 // SetPolicy installs the governance policy for subsequent queries.
 func (db *DB) SetPolicy(p Policy) {
 	db.polMu.Lock()
-	defer db.polMu.Unlock()
 	db.policy = p
+	db.polMu.Unlock()
+	db.kickAutoSaver()
 }
 
 // Policy returns the current governance policy.
@@ -57,11 +66,21 @@ func (db *DB) QueryContext(ctx context.Context, name, src string) (*QueryResult,
 	pol := db.Policy()
 	if q.Create != nil {
 		// Writes are single-pass over the pattern list — no fixpoint to
-		// govern; honor an already-cancelled context and run.
+		// govern; honor an already-cancelled context, journal the
+		// statement (durable databases fsync before acknowledging), and
+		// run.
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return db.runCreate(name, q)
+		var res *QueryResult
+		var applyErr error
+		err := db.commit(journalOp{op: opCypher, name: name, arg: src}, func() {
+			res, applyErr = db.runCreate(name, q)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res, applyErr
 	}
 	s, err := db.Get(name)
 	if err != nil {

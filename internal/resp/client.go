@@ -2,10 +2,32 @@ package resp
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
+	"strings"
 	"time"
 )
+
+// ServerError is an error reply from the server, code included
+// ("ERR ...", "BUSY ...").
+type ServerError struct {
+	Msg string
+}
+
+func (e *ServerError) Error() string { return "resp: server: " + e.Msg }
+
+// Transient reports whether the reply invites a retry — the BUSY
+// overload-shedding refusal.
+func (e *ServerError) Transient() bool { return strings.HasPrefix(e.Msg, "BUSY") }
+
+// IsTransient reports whether err is a server reply worth retrying
+// with backoff (see (*Client).DoRetry).
+func IsTransient(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Transient()
+}
 
 // Client is a minimal RESP client for the graph server. Not safe for
 // concurrent use; open one client per goroutine.
@@ -45,9 +67,31 @@ func (c *Client) Do(args ...string) (Value, error) {
 		return Value{}, err
 	}
 	if reply.Kind == ErrorString {
-		return Value{}, fmt.Errorf("resp: server: %s", reply.Str)
+		return Value{}, &ServerError{Msg: reply.Str}
 	}
 	return reply, nil
+}
+
+// DoRetry sends a command like Do but retries transient (BUSY
+// overload) refusals with jittered exponential backoff, up to
+// attempts sends in total. Non-transient errors — protocol failures,
+// closed connections, ordinary ERR replies — return immediately: only
+// the server's explicit "try again later" is worth the wait.
+func (c *Client) DoRetry(attempts int, args ...string) (Value, error) {
+	backoff := 2 * time.Millisecond
+	const maxBackoff = 500 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		v, err := c.Do(args...)
+		if err == nil || attempt >= attempts || !IsTransient(err) {
+			return v, err
+		}
+		// Full jitter: a uniform draw over the window keeps shed
+		// clients from re-arriving in lockstep.
+		time.Sleep(time.Duration(rand.Int64N(int64(backoff))) + backoff/2)
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
 }
 
 // Ping round-trips a PING.
@@ -128,6 +172,12 @@ func (c *Client) GraphProfile(graph, query string) ([]string, error) {
 // GraphDelete runs GRAPH.DELETE.
 func (c *Client) GraphDelete(graph string) error {
 	_, err := c.Do("GRAPH.DELETE", graph)
+	return err
+}
+
+// GraphSave runs GRAPH.SAVE, cutting a snapshot on a durable server.
+func (c *Client) GraphSave() error {
+	_, err := c.Do("GRAPH.SAVE")
 	return err
 }
 

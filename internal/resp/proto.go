@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 )
 
 // Value is one RESP value. Exactly one field is meaningful per Kind.
@@ -63,7 +64,11 @@ func Write(w *bufio.Writer, v Value) error {
 		_, err := fmt.Fprintf(w, "+%s\r\n", v.Str)
 		return err
 	case ErrorString:
-		_, err := fmt.Fprintf(w, "-ERR %s\r\n", v.Str)
+		msg := v.Str
+		if !hasErrorCode(msg) {
+			msg = "ERR " + msg
+		}
+		_, err := fmt.Fprintf(w, "-%s\r\n", msg)
 		return err
 	case Integer:
 		_, err := fmt.Fprintf(w, ":%d\r\n", v.Int)
@@ -94,9 +99,36 @@ func Write(w *bufio.Writer, v Value) error {
 	}
 }
 
+// hasErrorCode reports whether an error message already starts with a
+// Redis-style uppercase code ("BUSY ...", "LOADING ..."), in which
+// case Write must not prepend the default ERR code.
+func hasErrorCode(msg string) bool {
+	code, _, _ := strings.Cut(msg, " ")
+	if len(code) < 3 {
+		return false
+	}
+	for _, r := range code {
+		if r < 'A' || r > 'Z' {
+			return false
+		}
+	}
+	return true
+}
+
+// Busyf builds a Redis-style BUSY error reply — the overload-shedding
+// refusal clients may treat as transient and retry.
+func Busyf(format string, args ...any) Value {
+	return Value{Kind: ErrorString, Str: "BUSY " + fmt.Sprintf(format, args...)}
+}
+
 // maxBulkLen bounds bulk payloads (16 MiB) to keep a broken peer from
 // forcing huge allocations.
 const maxBulkLen = 16 << 20
+
+// maxArrayLen bounds client command arrays (1M elements, Redis's
+// multibulk cap): a hostile length prefix must not pre-commit the
+// server to unbounded element parsing.
+const maxArrayLen = 1 << 20
 
 // Read decodes one value from r.
 func Read(r *bufio.Reader) (Value, error) {
@@ -147,7 +179,7 @@ func Read(r *bufio.Reader) (Value, error) {
 			return Value{}, err
 		}
 		n, err := strconv.Atoi(s)
-		if err != nil || n < -1 || n > maxBulkLen {
+		if err != nil || n < -1 || n > maxArrayLen {
 			return Value{}, fmt.Errorf("resp: bad array length %q", s)
 		}
 		if n == -1 {

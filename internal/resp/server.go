@@ -8,16 +8,44 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"mscfpq/internal/fault"
 	"mscfpq/internal/gdb"
 )
+
+// FPDispatch is the failpoint at the head of command dispatch; tests
+// arm it with a panic spec to prove a crashing handler costs one error
+// reply, not the process.
+const FPDispatch = "resp.dispatch"
+
+var _ = fault.Declare(FPDispatch)
+
+// maxInlineLen bounds one inline command line (64 KiB, Redis's
+// PROTO_INLINE_MAX_SIZE): a client streaming bytes without a newline
+// is refused instead of growing the server's buffer without bound.
+const maxInlineLen = 64 << 10
 
 // Server serves the graph database over RESP.
 type Server struct {
 	DB     *gdb.DB
 	Logger *log.Logger // nil = silent
+
+	// MaxConns caps simultaneous connections; excess dials get an
+	// error reply and an immediate close. 0 means unlimited. Set
+	// before Serve.
+	MaxConns int
+	// IdleTimeout closes a connection that sends no command for this
+	// long. 0 means no deadline. Set before Serve.
+	IdleTimeout time.Duration
+
+	// running counts commands currently executing, for overload
+	// shedding against gdb.Policy.MaxConcurrent.
+	running atomic.Int64
 
 	mu       sync.Mutex
 	ln       net.Listener          // guarded by mu
@@ -73,10 +101,27 @@ func (s *Server) Serve() error {
 			return err
 		}
 		s.mu.Lock()
-		s.conns[conn] = struct{}{}
+		over := s.MaxConns > 0 && len(s.conns) >= s.MaxConns
+		if !over {
+			s.conns[conn] = struct{}{}
+		}
 		s.mu.Unlock()
+		if over {
+			go s.refuse(conn)
+			continue
+		}
 		go s.handle(conn)
 	}
+}
+
+// refuse turns away a connection beyond MaxConns with an explicit
+// error reply, like Redis's maxclients behaviour.
+func (s *Server) refuse(conn net.Conn) {
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	//lint:ignore errdrop best-effort courtesy reply on a connection we refuse either way
+	_ = Write(w, Errorf("max number of clients reached"))
+	_ = w.Flush()
 }
 
 // ListenAndServe is Listen followed by Serve.
@@ -155,6 +200,11 @@ func (s *Server) logf(format string, args ...any) {
 
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
+		// A panic on this connection's goroutine must cost only this
+		// connection: log it and fall through to the close below.
+		if r := recover(); r != nil {
+			s.logf("resp: panic on %v: %v\n%s", conn.RemoteAddr(), r, debug.Stack())
+		}
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -163,10 +213,25 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		if s.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+				return
+			}
+		}
 		args, err := s.readCommand(r)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			var ne net.Error
+			switch {
+			case err == io.EOF, errors.Is(err, net.ErrClosed):
+			case errors.As(err, &ne) && ne.Timeout():
+				s.logf("resp: closing idle connection %v", conn.RemoteAddr())
+			default:
+				// Malformed input: tell the client why before closing,
+				// like Redis's protocol errors.
 				s.logf("resp: read: %v", err)
+				//lint:ignore errdrop best-effort error reply on a connection we are about to close
+				_ = Write(w, Errorf("protocol error: %v", err))
+				_ = w.Flush()
 			}
 			return
 		}
@@ -202,7 +267,9 @@ func (s *Server) handle(conn net.Conn) {
 
 // readCommand reads either a RESP array command or, like Redis, an
 // inline command: a plain text line of space-separated words (handy for
-// testing with netcat / telnet).
+// testing with netcat / telnet). Inline lines are bounded by
+// maxInlineLen so a newline-less byte stream cannot grow server memory
+// without bound.
 func (s *Server) readCommand(r *bufio.Reader) ([]string, error) {
 	b, err := r.Peek(1)
 	if err != nil {
@@ -216,7 +283,7 @@ func (s *Server) readCommand(r *bufio.Reader) ([]string, error) {
 		return Strings(req)
 	}
 	for {
-		line, err := r.ReadString('\n')
+		line, err := readBoundedLine(r, maxInlineLen)
 		if err != nil {
 			return nil, err
 		}
@@ -227,8 +294,67 @@ func (s *Server) readCommand(r *bufio.Reader) ([]string, error) {
 	}
 }
 
-// dispatch executes one command.
+// readBoundedLine reads up to and including '\n', failing once the
+// line exceeds limit bytes; at most limit+1 bytes are ever buffered.
+func readBoundedLine(r *bufio.Reader, limit int) (string, error) {
+	var buf []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		if len(buf)+len(chunk) > limit {
+			return "", fmt.Errorf("inline request too large (> %d bytes)", limit)
+		}
+		buf = append(buf, chunk...)
+		switch err {
+		case nil:
+			return string(buf), nil
+		case bufio.ErrBufferFull:
+			// Line continues past the reader's buffer; keep going.
+		default:
+			return "", err
+		}
+	}
+}
+
+// dispatch executes one command behind the server's failure bulkhead:
+// a panic in any handler is recovered, logged, and turned into an
+// error reply on just this command, and commands that execute real
+// work are shed with a BUSY error once gdb.Policy.MaxConcurrent of
+// them are already running — bounded degradation instead of unbounded
+// queueing.
 func (s *Server) dispatch(args []string) (reply Value, quit bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("resp: panic in %s handler: %v\n%s", strings.ToUpper(args[0]), r, debug.Stack())
+			reply, quit = Errorf("internal error: command %s failed: %v", strings.ToUpper(args[0]), r), false
+		}
+	}()
+	if err := fault.Inject(FPDispatch); err != nil {
+		return Errorf("%v", err), false
+	}
+	if !lightCommand(args[0]) {
+		if limit := s.DB.Policy().MaxConcurrent; limit > 0 {
+			if s.running.Add(1) > int64(limit) {
+				s.running.Add(-1)
+				return Busyf("server is overloaded (%d commands running), try again later", limit), false
+			}
+			defer s.running.Add(-1)
+		}
+	}
+	return s.execute(args)
+}
+
+// lightCommand reports commands cheap enough to bypass overload
+// shedding, so health checks keep answering under load.
+func lightCommand(cmd string) bool {
+	switch strings.ToUpper(cmd) {
+	case "PING", "ECHO", "QUIT", "COMMAND":
+		return true
+	}
+	return false
+}
+
+// execute runs one command.
+func (s *Server) execute(args []string) (reply Value, quit bool) {
 	cmd := strings.ToUpper(args[0])
 	switch cmd {
 	case "PING":
@@ -310,11 +436,23 @@ func (s *Server) dispatch(args []string) (reply Value, quit bool) {
 			vals = append(vals, Bulk(l))
 		}
 		return Arr(vals...), false
+	case "GRAPH.SAVE":
+		if len(args) != 1 {
+			return Errorf("usage: GRAPH.SAVE"), false
+		}
+		if err := s.DB.Save(); err != nil {
+			return Errorf("%v", err), false
+		}
+		return OK(), false
 	case "GRAPH.DELETE":
 		if len(args) != 2 {
 			return Errorf("usage: GRAPH.DELETE <graph>"), false
 		}
-		if !s.DB.Delete(args[1]) {
+		ok, err := s.DB.Delete(args[1])
+		if err != nil {
+			return Errorf("%v", err), false
+		}
+		if !ok {
 			return Errorf("graph %q does not exist", args[1]), false
 		}
 		return OK(), false
