@@ -32,6 +32,9 @@ type durability struct {
 	// commitMu orders mutations against snapshots (see above).
 	commitMu sync.RWMutex
 
+	// mu serializes journal appends and stays held through each
+	// mutation's in-memory apply (see commit), so live apply order
+	// always matches journal order — the order crash replay uses.
 	mu     sync.Mutex
 	seq    uint64   // guarded by mu: sequence of the live snapshot/journal pair
 	jf     *os.File // guarded by mu: open journal, nil after Close
@@ -219,10 +222,19 @@ func (db *DB) applyOp(op journalOp) error {
 	}
 }
 
-// commit journals op (when durable) and then runs apply, holding the
-// commit lock shared across both so a concurrent Save sees either none
-// or all of the mutation. The journal append is fsynced before apply
-// runs: an acknowledged mutation is always recoverable.
+// commit journals op (when durable) and then runs apply. The commit
+// lock is held shared across both so a concurrent Save sees either
+// none or all of the mutation, and dur.mu — the lock that orders
+// journal appends — stays held through apply so mutations reach
+// memory in exactly the order they reached the journal. Replay runs
+// in journal order, and applies are order-sensitive (runCreate
+// assigns vertex IDs from the current vertex count, Restore replaces
+// whole stores), so a live apply order that diverged from the append
+// order would make crash recovery reconstruct a state that never
+// existed. Both locks unlock by defer so a panicking handler (or an
+// armed panic failpoint) cannot wedge the database. The journal
+// append is fsynced before apply runs: an acknowledged mutation is
+// always recoverable.
 func (db *DB) commit(op journalOp, apply func()) error {
 	if db.dur == nil {
 		apply()
@@ -230,36 +242,27 @@ func (db *DB) commit(op journalOp, apply func()) error {
 	}
 	db.dur.commitMu.RLock()
 	defer db.dur.commitMu.RUnlock()
-	// The journal section unlocks by defer so a panicking handler (or
-	// an armed panic failpoint) cannot wedge the mutex for the whole
-	// database.
-	err := func() error {
-		db.dur.mu.Lock()
-		defer db.dur.mu.Unlock()
-		if db.dur.closed {
-			return ErrClosed
-		}
-		if db.dur.broken != nil {
-			return fmt.Errorf("gdb: journal unusable (GRAPH.SAVE rotates in a fresh one): %w", db.dur.broken)
-		}
-		st, err := db.dur.jf.Stat()
-		if err != nil {
-			return fmt.Errorf("gdb: journal append: %w", err)
-		}
-		if err := appendJournal(db.dur.jf, op); err != nil {
-			// Roll the partial record back: replay stops at the first
-			// torn record, so leaving its bytes in place would strand
-			// every record appended after it. If even the rollback
-			// fails the journal is unusable until a Save rotates it
-			// out.
-			if terr := db.dur.jf.Truncate(st.Size()); terr != nil {
-				db.dur.broken = terr
-			}
-			return err
-		}
-		return nil
-	}()
+	db.dur.mu.Lock()
+	defer db.dur.mu.Unlock()
+	if db.dur.closed {
+		return ErrClosed
+	}
+	if db.dur.broken != nil {
+		return fmt.Errorf("gdb: journal unusable (GRAPH.SAVE rotates in a fresh one): %w", db.dur.broken)
+	}
+	st, err := db.dur.jf.Stat()
 	if err != nil {
+		return fmt.Errorf("gdb: journal append: %w", err)
+	}
+	if err := appendJournal(db.dur.jf, op); err != nil {
+		// Roll the partial record back: replay stops at the first
+		// torn record, so leaving its bytes in place would strand
+		// every record appended after it. If even the rollback
+		// fails the journal is unusable until a Save rotates it
+		// out.
+		if terr := db.dur.jf.Truncate(st.Size()); terr != nil {
+			db.dur.broken = terr
+		}
 		return err
 	}
 	apply()
@@ -268,9 +271,10 @@ func (db *DB) commit(op journalOp, apply func()) error {
 
 // Save cuts a snapshot: the full database image is written atomically
 // under the next sequence, the journal rotates to a fresh file, and
-// stale snapshots/journals are pruned (the previous snapshot is kept
-// as a fallback against bit rot). Concurrent mutations block for the
-// duration; queries do not. This is the GRAPH.SAVE command.
+// stale snapshots/journals are pruned (the previous snapshot and its
+// paired journal are kept as a fallback against bit rot). Concurrent
+// mutations block for the duration; queries do not. This is the
+// GRAPH.SAVE command.
 func (db *DB) Save() error {
 	if db.dur == nil {
 		return ErrNotDurable
@@ -328,8 +332,24 @@ func (db *DB) Save() error {
 	// memory and cannot fail; a close error on the retired journal
 	// cannot lose data (every record in it was already fsynced). A
 	// poisoned journal is healed here — its garbage tail retires with
-	// the old file.
+	// the old file. Close may have raced the snapshot write (the
+	// auto-saver can be inside Save when Close runs): re-check closed
+	// before installing, or the new journal fd would leak into a
+	// closed durability and old would be nil. Retiring the fresh pair
+	// instead is safe — Save held commitMu throughout, so the state
+	// the snapshot captured is exactly what the journal Close fsyncs
+	// already covers.
 	dur.mu.Lock()
+	if dur.closed {
+		dur.mu.Unlock()
+		//lint:ignore errdrop best-effort retirement of the unused journal fd
+		_ = nf.Close()
+		//lint:ignore errdrop best-effort cleanup; a leftover pair is consistent (see above) and recovery validates it
+		_ = os.Remove(snapshotPath(dur.dir, next))
+		//lint:ignore errdrop ditto
+		_ = os.Remove(journalPath(dur.dir, next))
+		return ErrClosed
+	}
 	old := dur.jf
 	dur.jf = nf
 	dur.seq = next
@@ -361,20 +381,32 @@ func (dur *durability) prepareJournal(next uint64) (*os.File, error) {
 	return nf, nil
 }
 
-// prune removes snapshots older than the previous one and journals of
-// retired sequences. Best-effort: a leftover file wastes disk but
-// cannot corrupt recovery, which always prefers the newest valid pair.
+// prune removes everything older than the fallback snapshot/journal
+// pair. The previous snapshot is kept as a fallback against bit rot
+// TOGETHER WITH its paired journal: a recovery that falls back to
+// snap N-1 replays wal N-1, reaching the state snap N captured, so it
+// loses none of the acknowledged ops that journal fsynced (pruning
+// only the journal would silently drop them — replay treats a missing
+// file as empty). Sequence 0 has no snapshot (it is the empty genesis
+// store, unusable as a fallback once snap-1 exists), so at current 1
+// only the live pair is kept. Best-effort: a leftover file wastes
+// disk but cannot corrupt recovery, which always prefers the newest
+// valid pair.
 func (dur *durability) prune(current uint64) {
 	entries, err := os.ReadDir(dur.dir)
 	if err != nil {
 		return
 	}
+	keep := current // oldest sequence retained
+	if current >= 2 {
+		keep = current - 1
+	}
 	for _, e := range entries {
-		if seq, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && current >= 2 && seq < current-1 {
+		if seq, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && seq < keep {
 			//lint:ignore errdrop best-effort pruning; stale snapshots are harmless
 			_ = os.Remove(filepath.Join(dur.dir, e.Name()))
 		}
-		if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok && seq < current {
+		if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok && seq < keep {
 			//lint:ignore errdrop best-effort pruning; retired journals are harmless
 			_ = os.Remove(filepath.Join(dur.dir, e.Name()))
 		}

@@ -2,11 +2,16 @@ package gdb
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"mscfpq/internal/fault"
 )
 
 // reopen simulates a crash-and-restart: the DB is abandoned without
@@ -166,19 +171,50 @@ func TestCorruptNewestSnapshotFallsBack(t *testing.T) {
 	if err := db.Save(); err != nil { // snap-1
 		t.Fatal(err)
 	}
-	want := dumpAll(t, db)
-	mustQuery(t, db, "g", `CREATE (b:M)`)
-	if err := db.Save(); err != nil { // snap-2; snap-1 kept as fallback
+	mustQuery(t, db, "g", `CREATE (b:M)`) // acked into wal-1
+	if err := db.Save(); err != nil {     // snap-2; snap-1 + wal-1 kept as fallback
 		t.Fatal(err)
 	}
+	want := dumpAll(t, db)
 
-	// Bit-rot the newest snapshot: recovery must fall back to snap-1.
-	// wal-1 was pruned at rotation, so the fallback state is snap-1's.
+	// Bit-rot the newest snapshot: recovery must fall back to snap-1
+	// AND replay its retained journal wal-1, so even the fallback path
+	// loses no acknowledged op.
 	if err := os.WriteFile(snapshotPath(dir, 2), []byte("rotten"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := os.Stat(journalPath(dir, 1)); err != nil {
+		t.Fatalf("fallback journal wal-1 was pruned: %v", err)
+	}
 	db2 := reopen(t, dir)
 	sameState(t, want, dumpAll(t, db2))
+}
+
+// TestPruneKeepsOnlyFallbackPair pins the retention policy: after the
+// third save the directory holds exactly the live pair and the
+// fallback pair.
+func TestPruneKeepsOnlyFallbackPair(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	for i := 0; i < 3; i++ {
+		mustQuery(t, db, "g", `CREATE (a:N)`)
+		if err := db.Save(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for seq, want := range map[uint64]bool{1: false, 2: true, 3: true} {
+		_, serr := os.Stat(snapshotPath(dir, seq))
+		_, jerr := os.Stat(journalPath(dir, seq))
+		if got := serr == nil; got != want {
+			t.Errorf("snap-%d present = %v, want %v", seq, got, want)
+		}
+		if got := jerr == nil; got != want {
+			t.Errorf("wal-%d present = %v, want %v", seq, got, want)
+		}
+	}
+	if _, err := os.Stat(journalPath(dir, 0)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("genesis journal wal-0 not pruned: %v", err)
+	}
 }
 
 func TestAllSnapshotsCorruptIsAnError(t *testing.T) {
@@ -261,6 +297,114 @@ func TestTempFilesCleanedAtOpen(t *testing.T) {
 	reopen(t, dir)
 	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("stale temp file survived Open: %v", err)
+	}
+}
+
+// TestConcurrentMutationsApplyInJournalOrder pins the commit-order
+// invariant: mutations must reach memory in the order they reached the
+// journal, because replay runs in journal order and applies are
+// order-sensitive (runCreate assigns vertex IDs from the current
+// count, Restore replaces whole stores). A divergent live order would
+// make the recovered state differ from the acknowledged one.
+func TestConcurrentMutationsApplyInJournalOrder(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Unique label per goroutine: the label→vertex-ID binding
+			// fingerprints the apply order in the dump.
+			if _, err := db.Query("g", fmt.Sprintf(`CREATE (a:L%d {k: %d})`, i, i)); err != nil {
+				t.Errorf("concurrent CREATE %d: %v", i, err)
+			}
+			if i%4 == 0 {
+				if _, err := db.Query("h", fmt.Sprintf(`CREATE (b:M%d)`, i)); err != nil {
+					t.Errorf("concurrent CREATE on h (%d): %v", i, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	want := dumpAll(t, db)
+
+	db2 := reopen(t, dir)
+	sameState(t, want, dumpAll(t, db2))
+}
+
+// TestCloseDuringSaveDoesNotInstallJournal covers the auto-saver's
+// Save racing Close: the swap must not install the fresh journal into
+// a closed durability (leaking its fd and closing a nil handle) — it
+// retires the fresh pair and reports ErrClosed instead.
+func TestCloseDuringSaveDoesNotInstallJournal(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "g", `CREATE (a:N)`)
+	want := dumpAll(t, db)
+
+	// Hold Save at the dirsync — after the snapshot rename, just
+	// before the journal swap — while Close runs to completion.
+	disarm := fault.Enable(FPSnapshotDirSync, fault.Spec{Delay: 500 * time.Millisecond})
+	defer disarm()
+	saveErr := make(chan error, 1)
+	go func() { saveErr <- db.Save() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for fault.Hits(FPSnapshotDirSync) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Save never reached the dirsync failpoint")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close racing Save: %v", err)
+	}
+	if err := <-saveErr; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Save racing Close = %v, want ErrClosed", err)
+	}
+
+	// The fresh pair was retired, not installed ...
+	if _, err := os.Stat(snapshotPath(dir, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphan snapshot installed by closed Save: %v", err)
+	}
+	if _, err := os.Stat(journalPath(dir, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphan journal installed by closed Save: %v", err)
+	}
+	// ... and recovery still surfaces every acknowledged op (wal-0).
+	sameState(t, want, dumpAll(t, reopen(t, dir)))
+}
+
+// TestConcurrentDeleteReportsExistedOnce: concurrent deletes of the
+// same graph must not all report success — the existence answer comes
+// from the serialized apply, and the duplicate journaled 'D' records
+// replay idempotently.
+func TestConcurrentDeleteReportsExistedOnce(t *testing.T) {
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "g", `CREATE (a:N)`)
+	var wg sync.WaitGroup
+	var existed atomic.Int32
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, err := db.Delete("g")
+			if err != nil {
+				t.Errorf("concurrent Delete: %v", err)
+			}
+			if ok {
+				existed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := existed.Load(); n != 1 {
+		t.Fatalf("%d concurrent deletes reported the graph existed, want exactly 1", n)
+	}
+	db2 := reopen(t, dir)
+	if _, err := db2.Get("g"); err == nil {
+		t.Fatal("deleted graph resurrected by replay")
 	}
 }
 

@@ -161,21 +161,29 @@ func (db *DB) Get(name string) (*GraphStore, error) {
 // database the deletion is journaled before it is applied; a non-nil
 // error means the journal append failed and the graph was NOT removed.
 func (db *DB) Delete(name string) (bool, error) {
+	// Fast path: skip journaling deletes of graphs that don't exist.
+	// The check is advisory — the authoritative answer comes from the
+	// re-check inside the serialized apply below, so two concurrent
+	// deletes of the same graph cannot both report success. A delete
+	// journaled for a graph that raced away is harmless: replay of the
+	// 'D' record is idempotent.
 	db.mu.RLock()
 	_, ok := db.graphs[name]
 	db.mu.RUnlock()
 	if !ok {
 		return false, nil
 	}
+	var existed bool
 	err := db.commit(journalOp{op: opDelete, name: name}, func() {
 		db.mu.Lock()
+		_, existed = db.graphs[name]
 		delete(db.graphs, name)
 		db.mu.Unlock()
 	})
 	if err != nil {
 		return false, err
 	}
-	return true, nil
+	return existed, nil
 }
 
 // List returns the sorted graph names.
