@@ -7,10 +7,10 @@ GO ?= go
 # module.
 RACE_PKGS = ./internal/gdb ./internal/resp ./internal/cfpq ./internal/exec
 
-.PHONY: check all build vet test race race-quick cover bench bench-quick experiments fuzz fuzz-smoke diff-test diff-test-slow chaos lint lint-tools clean
+.PHONY: check all build vet test race race-quick cover bench bench-quick bench-smoke experiments fuzz fuzz-smoke diff-test diff-test-slow chaos lint lint-tools clean
 
 # Default: what CI runs on every change.
-check: build vet lint test race diff-test chaos
+check: build vet lint test race diff-test chaos bench-smoke
 
 all: build test
 
@@ -61,6 +61,13 @@ experiments:
 bench-quick:
 	$(GO) run ./cmd/benchrunner -exp all -quick
 
+# Observability overhead smoke (see TESTING.md): the governed-kernel
+# and multiple-source workloads with the metrics registry on vs off,
+# recorded to BENCH_obs.json. The acceptance gate for the obs layer is
+# governed-kernel overhead <= 3%.
+bench-smoke:
+	$(GO) run ./cmd/benchrunner -exp obs -quick -json BENCH_obs.json
+
 # Short fuzzing sessions over every parser.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=30s ./internal/cypher/
@@ -105,4 +112,4 @@ lint-tools:
 	$(GO) install golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt BENCH_obs.json

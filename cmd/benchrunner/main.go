@@ -41,13 +41,14 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "table1 | fig2 | figures | ablation | fullstack | rpq | all")
-		quick   = fs.Bool("quick", false, "use the reduced smoke-test scales")
-		graphs  = fs.String("graphs", "", "comma-separated graph subset")
-		chunks  = fs.String("chunks", "", "comma-separated chunk sizes for the sweep")
-		seed    = fs.Int64("seed", 2021, "chunk sampling seed")
-		csvPath = fs.String("csv", "", "also write the figures sweep as CSV to this path")
-		svgDir  = fs.String("svg", "", "also render one SVG chart per figures series into this directory")
+		exp      = fs.String("exp", "all", "table1 | fig2 | figures | ablation | fullstack | rpq | obs | all")
+		quick    = fs.Bool("quick", false, "use the reduced smoke-test scales")
+		graphs   = fs.String("graphs", "", "comma-separated graph subset")
+		chunks   = fs.String("chunks", "", "comma-separated chunk sizes for the sweep")
+		seed     = fs.Int64("seed", 2021, "chunk sampling seed")
+		csvPath  = fs.String("csv", "", "also write the figures sweep as CSV to this path")
+		svgDir   = fs.String("svg", "", "also render one SVG chart per figures series into this directory")
+		jsonPath = fs.String("json", "", "also write the obs experiment's measurements as JSON to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -150,13 +151,33 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			return rep.Render(stdout)
+		case "obs":
+			rep, measurements, err := bench.ObsOverhead(cfg)
+			if err != nil {
+				return err
+			}
+			if *jsonPath != "" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					return err
+				}
+				if err := bench.WriteObsJSON(f, measurements); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+			}
+			return rep.Render(stdout)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig2", "figures", "ablation", "fullstack", "rpq"} {
+		for _, name := range []string{"table1", "fig2", "figures", "ablation", "fullstack", "rpq", "obs"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

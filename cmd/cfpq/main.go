@@ -4,9 +4,11 @@
 //
 //	cfpq -graph g.txt -grammar q.txt [-algo ms] [-src 0,5,7] [-limit 20]
 //
-// Algorithms: allpairs (Algorithm 1), ms (Algorithm 2, default), smart
-// (Algorithm 3), worklist (CFL-reachability baseline), singlepath
-// (all-pairs with witness extraction), tensor (Kronecker RSM).
+// Algorithms: allpairs (Algorithm 1), seminaive (delta iteration), ms
+// (Algorithm 2, default), smart (Algorithm 3), worklist
+// (CFL-reachability baseline), singlepath / mspath (witness
+// extraction), tensor (Kronecker RSM). All but smart and tensor go
+// through the unified cfpq.Eval entry point.
 package main
 
 import (
@@ -32,15 +34,27 @@ func main() {
 	}
 }
 
+// algorithms maps the -algo flag to Eval's algorithm options; smart
+// and tensor stay on their own entry points (the index and the RSM
+// machine have no Eval equivalent).
+var algorithms = map[string]exec.Algorithm{
+	"allpairs":   exec.AlgMatrix,
+	"seminaive":  exec.AlgSemiNaive,
+	"ms":         exec.AlgMultiSource,
+	"worklist":   exec.AlgWorklist,
+	"singlepath": exec.AlgSinglePath,
+	"mspath":     exec.AlgMSSinglePath,
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("cfpq", flag.ContinueOnError)
 	var (
 		graphPath   = fs.String("graph", "", "graph file (edge-list format)")
 		grammarPath = fs.String("grammar", "", "grammar file")
-		algo        = fs.String("algo", "ms", "allpairs | ms | smart | worklist | singlepath | tensor")
+		algo        = fs.String("algo", "ms", "allpairs | seminaive | ms | smart | worklist | singlepath | mspath | tensor")
 		srcSpec     = fs.String("src", "", "comma-separated source vertices (ms/smart/worklist)")
 		limit       = fs.Int("limit", 50, "maximum pairs to print (0 = all)")
-		showPaths   = fs.Bool("paths", false, "print a witness path per pair (singlepath)")
+		showPaths   = fs.Bool("paths", false, "print a witness path per pair (singlepath/mspath)")
 		timeout     = fs.Duration("timeout", 0, "abort the query after this duration (0 = none)")
 		budget      = fs.Int64("budget", 0, "abort after producing this many relation entries (0 = unlimited)")
 		workers     = fs.Int("workers", 0, "parallel multiplication workers (0 = sequential)")
@@ -82,23 +96,25 @@ func run(args []string, stdout io.Writer) error {
 		opts = append(opts, exec.WithWorkers(*workers))
 	}
 
+	if alg, ok := algorithms[*algo]; ok {
+		res, err := cfpq.Eval(g, w, src, append(opts, exec.WithAlgorithm(alg))...)
+		if err != nil {
+			return err
+		}
+		st := res.Stats()
+		fmt.Fprintf(stdout, "algorithm: %v; rounds: %d; work: %d\n", st.Algorithm, st.Rounds, st.Work)
+		if *showPaths {
+			pr, ok := res.(cfpq.PathEvalResult)
+			if !ok {
+				return fmt.Errorf("-paths needs -algo singlepath or mspath")
+			}
+			return printWithPaths(stdout, pr, *limit)
+		}
+		return printPairs(stdout, res.Pairs(), *limit)
+	}
+
 	var answer *matrix.Bool
 	switch *algo {
-	case "allpairs":
-		r, err := cfpq.AllPairs(g, w, opts...)
-		if err != nil {
-			return err
-		}
-		answer = r.Start()
-	case "ms":
-		if src == nil {
-			return fmt.Errorf("-algo ms needs -src")
-		}
-		r, err := cfpq.MultiSource(g, w, src, opts...)
-		if err != nil {
-			return err
-		}
-		answer = r.Answer()
 	case "smart":
 		if src == nil {
 			return fmt.Errorf("-algo smart needs -src")
@@ -112,29 +128,6 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		answer = r.Answer()
-	case "worklist":
-		if src != nil {
-			m, err := cfpq.WorklistMultiSource(g, w, src, opts...)
-			if err != nil {
-				return err
-			}
-			answer = m
-		} else {
-			r, err := cfpq.Worklist(g, w, opts...)
-			if err != nil {
-				return err
-			}
-			answer = r.Start()
-		}
-	case "singlepath":
-		sp, err := cfpq.SinglePath(g, w, opts...)
-		if err != nil {
-			return err
-		}
-		answer = sp.Start()
-		if *showPaths {
-			return printWithPaths(stdout, sp, *limit)
-		}
 	case "tensor":
 		machine, err := rsm.FromGrammar(cf)
 		if err != nil {
@@ -148,7 +141,7 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
-	return printPairs(stdout, answer, *limit)
+	return printPairs(stdout, matrixPairs(answer), *limit)
 }
 
 func parseSources(spec string, n int) (*matrix.Vector, error) {
@@ -166,21 +159,31 @@ func parseSources(spec string, n int) (*matrix.Vector, error) {
 	return v, nil
 }
 
-func printPairs(stdout io.Writer, m *matrix.Bool, limit int) error {
-	fmt.Fprintf(stdout, "%d result pairs\n", m.NVals())
-	count := 0
+func matrixPairs(m *matrix.Bool) [][2]int {
+	var pairs [][2]int
 	m.Iterate(func(i, j int) bool {
-		fmt.Fprintf(stdout, "%d -> %d\n", i, j)
-		count++
-		return limit == 0 || count < limit
+		pairs = append(pairs, [2]int{i, j})
+		return true
 	})
-	if limit > 0 && m.NVals() > limit {
-		fmt.Fprintf(stdout, "... (%d more)\n", m.NVals()-limit)
+	return pairs
+}
+
+func printPairs(stdout io.Writer, pairs [][2]int, limit int) error {
+	fmt.Fprintf(stdout, "%d result pairs\n", len(pairs))
+	shown := pairs
+	if limit > 0 && len(shown) > limit {
+		shown = shown[:limit]
+	}
+	for _, p := range shown {
+		fmt.Fprintf(stdout, "%d -> %d\n", p[0], p[1])
+	}
+	if limit > 0 && len(pairs) > limit {
+		fmt.Fprintf(stdout, "... (%d more)\n", len(pairs)-limit)
 	}
 	return nil
 }
 
-func printWithPaths(stdout io.Writer, sp *cfpq.SinglePathResult, limit int) error {
+func printWithPaths(stdout io.Writer, sp cfpq.PathEvalResult, limit int) error {
 	pairs := sp.Pairs()
 	fmt.Fprintf(stdout, "%d result pairs\n", len(pairs))
 	if limit > 0 && len(pairs) > limit {

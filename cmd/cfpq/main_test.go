@@ -39,9 +39,16 @@ func TestCLIAlgorithmsAgree(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
-		// Normalize away the header line, keep the pair lines.
-		lines := strings.Split(strings.TrimSpace(out), "\n")
-		results = append(results, strings.Join(lines[1:], "\n"))
+		// Normalize away the header lines (the graph summary and the
+		// per-algorithm stats line), keep the pair lines.
+		var kept []string
+		for _, l := range strings.Split(strings.TrimSpace(out), "\n") {
+			if strings.HasPrefix(l, "graph:") || strings.HasPrefix(l, "algorithm:") {
+				continue
+			}
+			kept = append(kept, l)
+		}
+		results = append(results, strings.Join(kept, "\n"))
 	}
 	for i := 1; i < len(results); i++ {
 		if results[i] != results[0] {

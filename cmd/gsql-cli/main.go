@@ -11,6 +11,15 @@
 //	delete <graph>         GRAPH.DELETE
 //	save                   GRAPH.SAVE (snapshot, durable servers)
 //	explain <query>        GRAPH.EXPLAIN on the selected graph
+//	profile <query>        GRAPH.PROFILE on the selected graph
+//	                       (per-operator plan profile; a raw
+//	                       "PROFILE <query>" line lands here too)
+//	trace <query>          GRAPH.QUERY with the PROFILE prefix: the
+//	                       query's span tree (parse/plan/fixpoint
+//	                       rounds with kernel counters)
+//	info [section]         INFO (server metrics; sections: server, gdb,
+//	                       kernels, durability)
+//	slowlog [get [n]|len|reset]  the server's slow-query log
 //	ping                   PING
 //	quit
 //	<anything else>        GRAPH.QUERY on the selected graph
@@ -130,6 +139,26 @@ func repl(c *resp.Client, current string, in io.Reader, out io.Writer) error {
 			for _, l := range lines {
 				fmt.Fprintln(out, l)
 			}
+		case "trace":
+			reply, err := c.GraphQuery(current, "PROFILE "+rest)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			for _, s := range reply.Stats {
+				fmt.Fprintln(out, s)
+			}
+		case "info", "slowlog":
+			if cmd == "slowlog" && rest == "" {
+				rest = "get"
+			}
+			args := append([]string{strings.ToUpper(cmd)}, strings.Fields(rest)...)
+			reply, err := c.Do(args...)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			printValue(out, reply, 0)
 		default:
 			reply, err := c.GraphQuery(current, line)
 			if err != nil {
@@ -149,6 +178,25 @@ func repl(c *resp.Client, current string, in io.Reader, out io.Writer) error {
 			for _, s := range reply.Stats {
 				fmt.Fprintln(out, "--", s)
 			}
+		}
+	}
+}
+
+// printValue renders a generic RESP reply: bulk text verbatim,
+// integers as numbers, arrays indented one level per nesting (the
+// SLOWLOG entry shape).
+func printValue(out io.Writer, v resp.Value, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch v.Kind {
+	case resp.Array:
+		for _, e := range v.Array {
+			printValue(out, e, depth+1)
+		}
+	case resp.Integer:
+		fmt.Fprintf(out, "%s%d\n", indent, v.Int)
+	default:
+		for _, line := range strings.Split(strings.TrimRight(v.Str, "\n"), "\n") {
+			fmt.Fprintf(out, "%s%s\n", indent, line)
 		}
 	}
 }

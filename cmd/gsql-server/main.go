@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -26,6 +28,7 @@ import (
 	"mscfpq/internal/dataset"
 	"mscfpq/internal/gdb"
 	"mscfpq/internal/graph"
+	"mscfpq/internal/obs"
 	"mscfpq/internal/resp"
 )
 
@@ -53,6 +56,8 @@ func run() error {
 		maxConcurrent = flag.Int("max-concurrent", 0, "commands allowed to execute at once before BUSY shedding (0 = unlimited)")
 		maxConns      = flag.Int("max-conns", 0, "simultaneous client connections (0 = unlimited)")
 		idleTimeout   = flag.Duration("idle-timeout", 0, "close connections idle for this long (0 = never)")
+		metricsAddr   = flag.String("metrics-addr", "", "HTTP address serving the metrics snapshot as JSON (empty = disabled)")
+		metricsDump   = flag.Duration("metrics-dump", 0, "log a metrics snapshot this often (0 = never)")
 		loads         listFlag
 		seeds         listFlag
 	)
@@ -81,6 +86,33 @@ func run() error {
 		return err
 	}
 	log.Printf("gsql-server listening on %s", bound)
+
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listen %s: %w", *metricsAddr, err)
+		}
+		log.Printf("gsql-server metrics on http://%s/", mln.Addr())
+		go func() {
+			// The metrics endpoint is best-effort: its failure must not
+			// take down the query server.
+			if err := http.Serve(mln, obs.Handler(obs.Default)); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+	if *metricsDump > 0 {
+		go func() {
+			for range time.Tick(*metricsDump) {
+				out, err := obs.MarshalSnapshot(obs.Default.Snapshot())
+				if err != nil {
+					log.Printf("metrics dump: %v", err)
+					continue
+				}
+				log.Printf("metrics\n%s", out)
+			}
+		}()
+	}
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight queries. The
 	// process exits non-zero only if the drain misses its deadline.

@@ -33,12 +33,12 @@ func main() {
 	// Fresh multiple-source query for the first ten concepts.
 	batch1 := mscfpq.NewVertexSet(g.NumVertices(), 0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
 	start := time.Now()
-	res, err := mscfpq.MultiSource(g, w, batch1)
+	res, err := mscfpq.EvalCFPQ(g, w, batch1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("G2 from 10 sources: %d same-generation pairs in %v\n",
-		res.Answer().NVals(), time.Since(start).Round(time.Microsecond))
+		res.Stats().Answers, time.Since(start).Round(time.Microsecond))
 
 	// The cached index: batch 1 warms it, batch 2 overlaps heavily and
 	// finishes far faster than a fresh evaluation.
@@ -69,12 +69,12 @@ func main() {
 		log.Fatal(err)
 	}
 	classes := mscfpq.NewVertexSet(g.NumVertices(), 0, 1, 2, 3, 4)
-	res1, err := mscfpq.MultiSource(g, w1, classes)
+	res1, err := mscfpq.EvalCFPQ(g, w1, classes)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("G1 from 5 class vertices: %d pairs\n", res1.Answer().NVals())
-	for i, p := range res1.Answer().Pairs() {
+	fmt.Printf("G1 from 5 class vertices: %d pairs\n", res1.Stats().Answers)
+	for i, p := range res1.Pairs() {
 		if i == 5 {
 			fmt.Println("  ...")
 			break

@@ -60,12 +60,12 @@ func main() {
 	// Segment around run A's artifacts: which files of any run sit at
 	// the same derivation depth?
 	src := mscfpq.NewVertexSet(g.NumVertices(), 1, 2, 3)
-	res, err := mscfpq.MultiSource(g, w, src)
+	res, err := mscfpq.EvalCFPQ(g, w, src)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("files at the same derivation generation:")
-	for _, p := range res.Answer().Pairs() {
+	for _, p := range res.Pairs() {
 		if p[0] == p[1] {
 			continue
 		}
@@ -85,5 +85,5 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("via GRAPH.QUERY: %d rows (library agrees: %v)\n",
-		len(reply.Rows), len(reply.Rows) == res.Answer().NVals())
+		len(reply.Rows), len(reply.Rows) == res.Stats().Answers)
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestDetrange(t *testing.T) {
-	analysistest.Run(t, detrange.Analyzer, "detpos", "detneg")
+	analysistest.Run(t, detrange.Analyzer, "detpos", "detneg", "obsrender")
 }

@@ -1,0 +1,40 @@
+// Package obsrender holds detrange cases shaped like the obs layer's
+// snapshot rendering: a metrics snapshot is a map from instrument name
+// to value, and every rendered form (INFO sections, the JSON endpoint,
+// -metrics-dump) must iterate it in sorted order.
+package obsrender
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// snapshot mirrors obs.Snapshot.
+type snapshot map[string]int64
+
+// renderUnsorted emits key:value lines in map order — the bug the
+// analyzer exists to stop: two INFO calls over the same registry
+// would disagree byte-for-byte.
+func renderUnsorted(s snapshot) string {
+	var b strings.Builder
+	for k, v := range s {
+		fmt.Fprintf(&b, "%s:%d\n", k, v) // want `fmt.Fprintf call inside range over a map`
+	}
+	return b.String()
+}
+
+// renderSorted is the accepted idiom and the real implementation's
+// shape (obs.Snapshot.Keys, MarshalSnapshot): collect, sort, emit.
+func renderSorted(s snapshot) string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s:%d\n", k, s[k])
+	}
+	return b.String()
+}

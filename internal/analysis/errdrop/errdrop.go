@@ -10,7 +10,8 @@
 // state still looks healthy.
 //
 // The analyzer flags, for callees in the graph/grammar/cypher/resp/gdb
-// packages (and the root facade) whose results include an error:
+// and obs packages (and the root facade) whose results include an
+// error:
 //
 //   - calls used as statements (also under go/defer) — the error is
 //     dropped implicitly;
@@ -42,7 +43,7 @@ import (
 // Analyzer is the errdrop analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "errdrop",
-	Doc: "flags discarded errors from the graph/grammar/cypher/resp/gdb " +
+	Doc: "flags discarded errors from the graph/grammar/cypher/resp/gdb/obs " +
 		"parse and IO layers, and csv.Writer.Flush without an Error check",
 	IgnoreTestFiles: true,
 	Run:             run,
@@ -57,6 +58,9 @@ var scopeSuffixes = []string{
 	"internal/resp",
 	"internal/gdb",
 	"internal/fault",
+	// The metrics endpoint: a dropped MarshalSnapshot error silently
+	// serves an empty or truncated body to whoever is scraping it.
+	"internal/obs",
 }
 
 // durableScopes are the package-path fragments where (*os.File).Sync

@@ -9,5 +9,6 @@ import (
 
 func TestErrdrop(t *testing.T) {
 	analysistest.Run(t, errdrop.Analyzer, "errpos", "errneg",
+		"obspos", "obsneg",
 		"internal/gdb/durpos", "internal/gdb/durneg")
 }

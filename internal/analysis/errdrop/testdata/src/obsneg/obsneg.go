@@ -1,0 +1,29 @@
+// Package obsneg holds errdrop negatives for the observability scope:
+// handled serialization errors and the error-free instrument calls
+// that make up nearly all obs usage.
+package obsneg
+
+import (
+	"net/http"
+
+	"mscfpq/internal/obs"
+)
+
+// handled propagates the encoding failure to the client, the real
+// endpoint's behavior.
+func handled(w http.ResponseWriter) {
+	body, err := obs.MarshalSnapshot(obs.Default.Snapshot())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(body)
+}
+
+// instruments exercises the hot-path API: counters and histograms
+// return nothing, so the scope extension adds no friction there.
+func instruments() {
+	obs.KernelMulOps.Add(1)
+	obs.GdbQueryLatencyUS.Observe(42)
+	obs.SetEnabled(true)
+}

@@ -1,0 +1,23 @@
+// Package obspos holds errdrop positives for the observability scope:
+// metrics-serialization errors silently discarded on the way to an
+// HTTP response or a log line.
+package obspos
+
+import (
+	"net/http"
+
+	"mscfpq/internal/obs"
+)
+
+// handlerDrop is the metrics-endpoint shape the scope extension
+// exists for: the snapshot encoding error vanishes and the scraper
+// receives an empty 200.
+func handlerDrop(w http.ResponseWriter) {
+	body, _ := obs.MarshalSnapshot(obs.Default.Snapshot()) // want `error result of obs.MarshalSnapshot assigned to _`
+	w.Write(body)
+}
+
+// statementDrop discards both the body and the error.
+func statementDrop() {
+	obs.MarshalSnapshot(obs.Default.Snapshot()) // want `error returned by obs.MarshalSnapshot is dropped`
+}

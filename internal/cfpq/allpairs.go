@@ -1,10 +1,12 @@
 package cfpq
 
 import (
+	"fmt"
+
 	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
-	"mscfpq/internal/matrix"
+	"mscfpq/internal/obs"
 )
 
 // AllPairs evaluates the context-free path query defined by w over g for
@@ -33,15 +35,21 @@ func AllPairs(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result, error) 
 			return nil, err
 		}
 		changed = false
+		r.Rounds++
+		span := run.StartSpan(fmt.Sprintf("round %d", r.Rounds))
 		for _, rule := range w.BinRules {
 			prod, err := run.Mul(r.T[rule.B], r.T[rule.C])
 			if err != nil {
+				span.End()
 				return nil, err
 			}
-			if matrix.AddInPlace(r.T[rule.A], prod) {
+			if run.Add(r.T[rule.A], prod) {
 				changed = true
 			}
 		}
+		span.End()
 	}
+	obs.CFPQRounds.Observe(int64(r.Rounds))
+	r.Work = run.Spent()
 	return r, nil
 }

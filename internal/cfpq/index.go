@@ -8,6 +8,7 @@ import (
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
+	"mscfpq/internal/obs"
 )
 
 // Index is the persistent cache of the optimized multiple-source
@@ -133,35 +134,43 @@ func (idx *Index) MultiSourceSmartFrom(srcByNT map[int]*matrix.Vector, opts ...O
 		work[a] = idx.T[a].Clone()
 	}
 
+	rounds := 0
 	for changed := true; changed; {
 		if err := run.Err(); err != nil {
 			return nil, err
 		}
 		changed = false
+		rounds++
+		span := run.StartSpan(fmt.Sprintf("round %d", rounds))
 		for _, rule := range w.BinRules {
+			run.ObserveFrontier(newSrc[rule.A].NVals())
 			m, err := run.Mul(newSrc[rule.A], work[rule.B])
 			if err != nil {
+				span.End()
 				return nil, err
 			}
 			prod, err := run.Mul(m, work[rule.C])
 			if err != nil {
+				span.End()
 				return nil, err
 			}
-			if matrix.AddInPlace(work[rule.A], prod) {
+			if run.Add(work[rule.A], prod) {
 				changed = true
 			}
 			// TNewSrc^B += TNewSrc^A \ index.TSrc^B (line 9).
 			deltaB := matrix.Sub(newSrc[rule.A], idx.TSrc[rule.B])
-			if matrix.AddInPlace(newSrc[rule.B], deltaB) {
+			if run.Add(newSrc[rule.B], deltaB) {
 				changed = true
 			}
 			// TNewSrc^C += getDst(M) \ index.TSrc^C (line 10).
 			deltaC := matrix.Sub(matrix.GetDst(m), idx.TSrc[rule.C])
-			if matrix.AddInPlace(newSrc[rule.C], deltaC) {
+			if run.Add(newSrc[rule.C], deltaC) {
 				changed = true
 			}
 		}
+		span.End()
 	}
+	obs.CFPQRounds.Observe(int64(rounds))
 
 	// Commit: fold the fully-computed facts and processed sources into
 	// the cache. AddInPlace (rather than pointer replacement) keeps the
@@ -173,7 +182,7 @@ func (idx *Index) MultiSourceSmartFrom(srcByNT map[int]*matrix.Vector, opts ...O
 		srcSnap[a] = idx.TSrc[a].Clone()
 	}
 	return &MSResult{
-		Result:  &Result{W: w, T: work},
+		Result:  &Result{W: w, T: work, Rounds: rounds, Work: run.Spent()},
 		Src:     srcSnap,
 		Sources: requested,
 	}, nil

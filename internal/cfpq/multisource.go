@@ -7,6 +7,7 @@ import (
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
+	"mscfpq/internal/obs"
 )
 
 // MSResult extends Result with the source matrices accumulated by the
@@ -88,25 +89,33 @@ func MultiSourceFrom(g *graph.Graph, w *grammar.WCNF, srcByNT map[int]*matrix.Ve
 			return nil, err
 		}
 		changed = false
+		r.Rounds++
+		span := run.StartSpan(fmt.Sprintf("round %d", r.Rounds))
 		for _, rule := range w.BinRules {
+			run.ObserveFrontier(r.Src[rule.A].NVals())
 			m, err := run.Mul(r.Src[rule.A], r.T[rule.B])
 			if err != nil {
+				span.End()
 				return nil, err
 			}
 			prod, err := run.Mul(m, r.T[rule.C])
 			if err != nil {
+				span.End()
 				return nil, err
 			}
-			if matrix.AddInPlace(r.T[rule.A], prod) {
+			if run.Add(r.T[rule.A], prod) {
 				changed = true
 			}
-			if matrix.AddInPlace(r.Src[rule.B], r.Src[rule.A]) {
+			if run.Add(r.Src[rule.B], r.Src[rule.A]) {
 				changed = true
 			}
-			if matrix.AddInPlace(r.Src[rule.C], matrix.GetDst(m)) {
+			if run.Add(r.Src[rule.C], matrix.GetDst(m)) {
 				changed = true
 			}
 		}
+		span.End()
 	}
+	obs.CFPQRounds.Observe(int64(r.Rounds))
+	r.Work = run.Spent()
 	return r, nil
 }

@@ -34,12 +34,25 @@ var WithHybridKernels = exec.WithHybridKernels
 // query.
 var WithRun = exec.WithRun
 
+// WithTrace attaches a per-query trace recording stage spans and
+// kernel counter deltas.
+var WithTrace = exec.WithTrace
+
+// WithAlgorithm selects the evaluation algorithm for Eval.
+var WithAlgorithm = exec.WithAlgorithm
+
 // Result holds the context-free relations R_A computed by a query: one
 // Boolean matrix per grammar nonterminal, where T^A[i,j] means there is
 // a path from i to j whose word is derivable from A.
 type Result struct {
 	W *grammar.WCNF
 	T []*matrix.Bool // indexed by nonterminal id
+
+	// Rounds is the number of fixpoint iterations until convergence and
+	// Work the governor charge (relation entries produced); both are
+	// filled by the evaluation algorithms for Stats reporting.
+	Rounds int
+	Work   int64
 }
 
 // Matrix returns the relation matrix of the named nonterminal; nil if

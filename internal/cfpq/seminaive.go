@@ -1,10 +1,13 @@
 package cfpq
 
 import (
+	"fmt"
+
 	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
+	"mscfpq/internal/obs"
 )
 
 // AllPairsSemiNaive evaluates the all-pairs query with semi-naive
@@ -38,6 +41,8 @@ func AllPairsSemiNaive(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result
 		if err := run.Err(); err != nil {
 			return nil, err
 		}
+		r.Rounds++
+		span := run.StartSpan(fmt.Sprintf("round %d", r.Rounds))
 		next := make([]*matrix.Bool, nnt)
 		for a := 0; a < nnt; a++ {
 			next[a] = matrix.NewBool(n, n)
@@ -47,21 +52,23 @@ func AllPairsSemiNaive(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result
 			if delta[rule.B].NVals() > 0 {
 				prod, err := run.Mul(delta[rule.B], r.T[rule.C])
 				if err != nil {
+					span.End()
 					return nil, err
 				}
 				fresh := matrix.Sub(prod, r.T[rule.A])
 				if fresh.NVals() > 0 {
-					matrix.AddInPlace(next[rule.A], fresh)
+					run.Add(next[rule.A], fresh)
 				}
 			}
 			if delta[rule.C].NVals() > 0 {
 				prod, err := run.Mul(r.T[rule.B], delta[rule.C])
 				if err != nil {
+					span.End()
 					return nil, err
 				}
 				fresh := matrix.Sub(prod, r.T[rule.A])
 				if fresh.NVals() > 0 {
-					matrix.AddInPlace(next[rule.A], fresh)
+					run.Add(next[rule.A], fresh)
 				}
 			}
 		}
@@ -69,12 +76,15 @@ func AllPairsSemiNaive(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result
 			// Entries may have landed in T[a] through another rule of
 			// the same round; keep only genuinely new ones as the delta.
 			matrix.SubInPlace(next[a], r.T[a])
-			if matrix.AddInPlace(r.T[a], next[a]) {
+			if run.Add(r.T[a], next[a]) {
 				progress = true
 			}
 			delta[a] = next[a]
 		}
+		span.End()
 		if !progress {
+			obs.CFPQRounds.Observe(int64(r.Rounds))
+			r.Work = run.Spent()
 			return r, nil
 		}
 	}

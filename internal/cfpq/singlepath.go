@@ -7,6 +7,7 @@ import (
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
+	"mscfpq/internal/obs"
 )
 
 // provKind tags how a relation entry was first derived.
@@ -106,15 +107,19 @@ func SinglePath(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*SinglePathRes
 
 	for changed := true; changed; {
 		changed = false
+		r.Rounds++
+		span := run.StartSpan(fmt.Sprintf("round %d", r.Rounds))
 		for ri, rule := range w.BinRules {
 			// MulWitness has no row-block cancellation; checking between
 			// rule applications still bounds the latency of a cancel to
 			// one multiplication.
 			if err := run.Err(); err != nil {
+				span.End()
 				return nil, err
 			}
 			prod, wit := matrix.MulWitness(r.T[rule.B], r.T[rule.C])
 			if err := run.Charge(prod.NVals()); err != nil {
+				span.End()
 				return nil, err
 			}
 			fresh := matrix.Sub(prod, r.T[rule.A])
@@ -126,10 +131,13 @@ func SinglePath(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*SinglePathRes
 				r.prov[rule.A][key] = provEntry{kind: provBin, mid: wit[key], rule: int32(ri)}
 				return true
 			})
-			matrix.AddInPlace(r.T[rule.A], fresh)
+			run.Add(r.T[rule.A], fresh)
 			changed = true
 		}
+		span.End()
 	}
+	obs.CFPQRounds.Observe(int64(r.Rounds))
+	r.Work = run.Spent()
 	return r, nil
 }
 

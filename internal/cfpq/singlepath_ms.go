@@ -7,6 +7,7 @@ import (
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
+	"mscfpq/internal/obs"
 )
 
 // MSSinglePathResult is a multiple-source result with single-path
@@ -97,16 +98,21 @@ func MultiSourceSinglePath(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector, 
 
 	for changed := true; changed; {
 		changed = false
+		r.Rounds++
+		span := run.StartSpan(fmt.Sprintf("round %d", r.Rounds))
 		for ri, rule := range w.BinRules {
 			// M = TSrc^A * T^B restricts rows to the current sources;
 			// because TSrc^A is diagonal, M's entries are T^B entries,
 			// so witnesses found against M decompose through real facts.
+			run.ObserveFrontier(r.Src[rule.A].NVals())
 			m, err := run.Mul(r.Src[rule.A], r.T[rule.B])
 			if err != nil {
+				span.End()
 				return nil, err
 			}
 			prod, wit := matrix.MulWitness(m, r.T[rule.C])
 			if err := run.Charge(prod.NVals()); err != nil {
+				span.End()
 				return nil, err
 			}
 			fresh := matrix.Sub(prod, r.T[rule.A])
@@ -116,16 +122,19 @@ func MultiSourceSinglePath(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector, 
 					r.prov[rule.A][key] = provEntry{kind: provBin, mid: wit[key], rule: int32(ri)}
 					return true
 				})
-				matrix.AddInPlace(r.T[rule.A], fresh)
+				run.Add(r.T[rule.A], fresh)
 				changed = true
 			}
-			if matrix.AddInPlace(r.Src[rule.B], r.Src[rule.A]) {
+			if run.Add(r.Src[rule.B], r.Src[rule.A]) {
 				changed = true
 			}
-			if matrix.AddInPlace(r.Src[rule.C], matrix.GetDst(m)) {
+			if run.Add(r.Src[rule.C], matrix.GetDst(m)) {
 				changed = true
 			}
 		}
+		span.End()
 	}
+	obs.CFPQRounds.Observe(int64(r.Rounds))
+	r.Work = run.Spent()
 	return r, nil
 }

@@ -5,9 +5,9 @@ import (
 	"strings"
 )
 
-// Query is a parsed Cypher statement: optional PATH PATTERN
-// declarations, then one CREATE or MATCH/WHERE/RETURN block, with an
-// optional trailing TIMEOUT clause.
+// Query is a parsed Cypher statement: an optional PROFILE prefix,
+// optional PATH PATTERN declarations, then one CREATE or
+// MATCH/WHERE/RETURN block, with an optional trailing TIMEOUT clause.
 type Query struct {
 	PathPatterns []NamedPathPattern
 	Create       *CreateClause
@@ -17,6 +17,10 @@ type Query struct {
 	// TimeoutMS bounds the statement's execution in milliseconds
 	// (trailing "TIMEOUT <ms>" clause); 0 means the server default.
 	TimeoutMS int
+	// Profile marks a "PROFILE MATCH ..." statement: the query runs
+	// normally and its result additionally carries the execution span
+	// tree with kernel counters.
+	Profile bool
 }
 
 // NamedPathPattern is PATH PATTERN Name = ()-/ expr /->().

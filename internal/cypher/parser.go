@@ -87,6 +87,9 @@ func (p *qparser) expectIdent() (string, error) {
 
 func (p *qparser) query() (*Query, error) {
 	q := &Query{}
+	if p.acceptKeyword("profile") {
+		q.Profile = true
+	}
 	for p.isKeyword("path") {
 		np, err := p.namedPathPattern()
 		if err != nil {

@@ -49,6 +49,24 @@ func TestDifferentialCFPQ(t *testing.T) {
 	}
 }
 
+// TestDifferentialEval drives the unified Eval entry point with every
+// WithAlgorithm option against the oracle, and asserts tracing and
+// metrics never change answers. A quarter of the CFPQ corpus: each
+// instance runs all six algorithms twice (plain and traced) plus the
+// auto-resolution and all-pairs variants.
+func TestDifferentialEval(t *testing.T) {
+	failures := 0
+	for i := 0; i < cfpqInstances/4; i++ {
+		inst := gen.NewInstance(*seedFlag+int64(3_000_000+i), maxGraphVertices)
+		if err := CheckEval(inst); err != nil {
+			reportCFPQFailure(t, inst, err, CheckEval)
+			if failures++; failures >= 3 {
+				t.Fatalf("stopping after %d failing instances", failures)
+			}
+		}
+	}
+}
+
 // TestDifferentialRPQ drives the four RPQ engines (NFA, minimized DFA,
 // CFPQ reduction, Kronecker tensor) against the BFS-product oracle on
 // seeded random (graph, regex, source-set) cases.

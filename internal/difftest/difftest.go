@@ -20,6 +20,7 @@ import (
 	"mscfpq/internal/gen"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
+	"mscfpq/internal/obs"
 	"mscfpq/internal/oracle"
 	"mscfpq/internal/rpq"
 )
@@ -130,6 +131,101 @@ func CheckCFPQ(inst gen.Instance) error {
 		if got := m.Pairs(); !pairsEqual(got, wantMS) {
 			return pairsErr(e.name, got, wantMS)
 		}
+	}
+	return nil
+}
+
+// evalAlgorithms is every concrete algorithm option of the unified
+// Eval entry point.
+var evalAlgorithms = []exec.Algorithm{
+	exec.AlgMatrix, exec.AlgSemiNaive, exec.AlgWorklist,
+	exec.AlgMultiSource, exec.AlgSinglePath, exec.AlgMSSinglePath,
+}
+
+// CheckEval drives the unified Eval entry point with every algorithm
+// option against the oracle: all six must return the identical
+// source-restricted answer, the all-pairs-capable ones must also agree
+// on the unrestricted query, AlgAuto must resolve by query shape, and
+// observability must be inert — attaching a trace and disabling the
+// metrics registry never changes answers.
+func CheckEval(inst gen.Instance) error {
+	ref := oracle.CFPQ(inst.G, inst.W)
+	src := srcVector(inst.G, inst.Sources)
+	wantMS := ref.StartPairsFrom(inst.Sources)
+	wantAll := ref.Pairs(inst.W.Start)
+
+	for _, alg := range evalAlgorithms {
+		res, err := cfpq.Eval(inst.G, inst.W, src, cfpq.WithAlgorithm(alg))
+		if err != nil {
+			return fmt.Errorf("Eval %v: %v", alg, err)
+		}
+		if got := res.Pairs(); !pairsEqual(got, wantMS) {
+			return pairsErr(fmt.Sprintf("Eval %v", alg), got, wantMS)
+		}
+		if st := res.Stats(); st.Algorithm != alg || st.Answers != len(res.Pairs()) {
+			return fmt.Errorf("Eval %v: inconsistent stats %+v", alg, st)
+		}
+		// Observability must never change answers: rerun with a trace
+		// attached and the metrics registry disabled.
+		obs.SetEnabled(false)
+		traced, err := cfpq.Eval(inst.G, inst.W, src,
+			cfpq.WithAlgorithm(alg), cfpq.WithTrace(obs.NewTrace("difftest")))
+		obs.SetEnabled(true)
+		if err != nil {
+			return fmt.Errorf("Eval %v traced: %v", alg, err)
+		}
+		if got := traced.Pairs(); !pairsEqual(got, wantMS) {
+			return pairsErr(fmt.Sprintf("Eval %v traced/metrics-off", alg), got, wantMS)
+		}
+	}
+
+	// The all-pairs-capable algorithms also answer the unrestricted query.
+	for _, alg := range []exec.Algorithm{
+		exec.AlgMatrix, exec.AlgSemiNaive, exec.AlgWorklist, exec.AlgSinglePath} {
+		res, err := cfpq.Eval(inst.G, inst.W, nil, cfpq.WithAlgorithm(alg))
+		if err != nil {
+			return fmt.Errorf("Eval %v (all pairs): %v", alg, err)
+		}
+		if got := res.Pairs(); !pairsEqual(got, wantAll) {
+			return pairsErr(fmt.Sprintf("Eval %v (all pairs)", alg), got, wantAll)
+		}
+	}
+
+	// AlgAuto resolves by query shape: multiple-source with a source
+	// set, all-pairs without.
+	auto, err := cfpq.Eval(inst.G, inst.W, src)
+	if err != nil {
+		return fmt.Errorf("Eval auto (src): %v", err)
+	}
+	if alg := auto.Stats().Algorithm; alg != exec.AlgMultiSource {
+		return fmt.Errorf("Eval auto with sources resolved to %v", alg)
+	}
+	if got := auto.Pairs(); !pairsEqual(got, wantMS) {
+		return pairsErr("Eval auto (src)", got, wantMS)
+	}
+	auto, err = cfpq.Eval(inst.G, inst.W, nil)
+	if err != nil {
+		return fmt.Errorf("Eval auto (all pairs): %v", err)
+	}
+	if alg := auto.Stats().Algorithm; alg != exec.AlgMatrix {
+		return fmt.Errorf("Eval auto without sources resolved to %v", alg)
+	}
+	if got := auto.Pairs(); !pairsEqual(got, wantAll) {
+		return pairsErr("Eval auto (all pairs)", got, wantAll)
+	}
+
+	// The single-path options expose witnesses through the unified
+	// interface, and the witnesses replay to real accepted paths.
+	sp, err := cfpq.Eval(inst.G, inst.W, src, cfpq.WithAlgorithm(exec.AlgMSSinglePath))
+	if err != nil {
+		return fmt.Errorf("Eval mssinglepath: %v", err)
+	}
+	pr, ok := sp.(cfpq.PathEvalResult)
+	if !ok {
+		return fmt.Errorf("Eval mssinglepath result does not implement PathEvalResult")
+	}
+	if err := replayPairs(inst, pr.Pairs(), pr.Path); err != nil {
+		return fmt.Errorf("Eval mssinglepath: %v", err)
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mscfpq/internal/matrix"
+	"mscfpq/internal/obs"
 )
 
 // ErrBudget is returned when a query exceeds its work budget (the
@@ -62,6 +63,51 @@ func (e Engine) String() string {
 	}
 }
 
+// Algorithm selects the CFPQ evaluation algorithm for the unified
+// EvalCFPQ entry point, mirroring Engine for RPQ.
+type Algorithm int
+
+const (
+	// AlgAuto picks by query shape: the multiple-source algorithm when
+	// a source set is given, all-pairs otherwise.
+	AlgAuto Algorithm = iota
+	// AlgMatrix is the all-pairs matrix algorithm (paper Algorithm 1).
+	AlgMatrix
+	// AlgSemiNaive is the delta-driven all-pairs variant.
+	AlgSemiNaive
+	// AlgWorklist is the scalar worklist baseline.
+	AlgWorklist
+	// AlgMultiSource is the multiple-source algorithm (paper
+	// Algorithm 2).
+	AlgMultiSource
+	// AlgSinglePath is all-pairs with single-path witness extraction.
+	AlgSinglePath
+	// AlgMSSinglePath is multiple-source with single-path witness
+	// extraction.
+	AlgMSSinglePath
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgAuto:
+		return "auto"
+	case AlgMatrix:
+		return "matrix"
+	case AlgSemiNaive:
+		return "seminaive"
+	case AlgWorklist:
+		return "worklist"
+	case AlgMultiSource:
+		return "multisource"
+	case AlgSinglePath:
+		return "singlepath"
+	case AlgMSSinglePath:
+		return "ms-singlepath"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
 // Options tunes query execution. The zero value means: background
 // context, no timeout, unlimited budget, serial CSR kernels.
 type Options struct {
@@ -83,6 +129,11 @@ type Options struct {
 	Hybrid bool
 	// Engine selects the RPQ evaluation engine (rpq.Eval).
 	Engine Engine
+	// Algorithm selects the CFPQ evaluation algorithm (cfpq.Eval).
+	Algorithm Algorithm
+	// Trace, when non-nil, receives the query's span tree and kernel
+	// counter deltas (see obs.Trace). Nil means no tracing.
+	Trace *obs.Trace
 
 	// run, when set by WithRun, shares an existing governor (and its
 	// context and budget accounting) instead of starting a fresh one —
@@ -112,6 +163,14 @@ func WithHybridKernels() Option { return func(o *Options) { o.Hybrid = true } }
 
 // WithEngine selects the RPQ evaluation engine.
 func WithEngine(e Engine) Option { return func(o *Options) { o.Engine = e } }
+
+// WithAlgorithm selects the CFPQ evaluation algorithm.
+func WithAlgorithm(a Algorithm) Option { return func(o *Options) { o.Algorithm = a } }
+
+// WithTrace attaches a per-query trace: the governor records kernel
+// counter deltas into the innermost open span, and the execution
+// layers open stage spans through Run.StartSpan.
+func WithTrace(t *obs.Trace) Option { return func(o *Options) { o.Trace = t } }
 
 // WithRun shares an existing governor: the query joins r's context and
 // budget accounting instead of starting its own. Kernel settings
@@ -155,7 +214,7 @@ func (o Options) Start() (*Run, context.CancelFunc) {
 	if o.Timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
 	}
-	r := &Run{ctx: ctx, workers: o.Workers, hybrid: o.Hybrid, budget: o.Budget}
+	r := &Run{ctx: ctx, workers: o.Workers, hybrid: o.Hybrid, budget: o.Budget, trace: o.Trace}
 	return r, cancel
 }
 
@@ -170,6 +229,7 @@ type Run struct {
 	hybrid  bool
 	budget  int64 // 0 = unlimited
 	spent   atomic.Int64
+	trace   *obs.Trace // nil = untraced
 }
 
 // NewRun builds a governor directly from a context (no timeout, no
@@ -228,6 +288,42 @@ func (r *Run) Charge(n int) error {
 	return r.Err()
 }
 
+// Trace returns the trace attached to this run (nil for untraced or
+// nil runs).
+func (r *Run) Trace() *obs.Trace {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// StartSpan opens a named stage span on the run's trace. End the
+// returned span when the stage finishes. A no-op (returning nil, which
+// is safe to End) for untraced or nil runs.
+func (r *Run) StartSpan(name string) *obs.Span {
+	if r == nil {
+		return nil
+	}
+	return r.trace.Start(name)
+}
+
+// RecordOutcome classifies how a top-level query ended and bumps the
+// matching governor outcome counter. Call it exactly once per query
+// boundary (the gdb command path and the EvalCFPQ/EvalRPQ facade) —
+// not per algorithm invocation, which may share a Run.
+func RecordOutcome(err error) {
+	switch {
+	case err == nil:
+		obs.GovCompleted.Inc()
+	case errors.Is(err, ErrBudget):
+		obs.GovBudget.Inc()
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		obs.GovCancelled.Inc()
+	default:
+		obs.GovFailed.Inc()
+	}
+}
+
 // Closure is the governed transitive closure: cancellation is checked
 // between the row blocks of every squaring round, and the closure's
 // entry count is charged against the budget.
@@ -239,6 +335,10 @@ func (r *Run) Closure(a *matrix.Bool) (*matrix.Bool, error) {
 	if err != nil {
 		return nil, err
 	}
+	obs.KernelMulOps.Inc()
+	obs.KernelMulNNZ.Add(int64(m.NVals()))
+	r.trace.Add(obs.KeyMulOps, 1)
+	r.trace.Add(obs.KeyMulNNZ, int64(m.NVals()))
 	if err := r.Charge(m.NVals()); err != nil {
 		return nil, err
 	}
@@ -267,8 +367,49 @@ func (r *Run) Mul(a, b *matrix.Bool) (*matrix.Bool, error) {
 	if err != nil {
 		return nil, err
 	}
+	obs.KernelMulOps.Inc()
+	obs.KernelMulNNZ.Add(int64(m.NVals()))
+	r.trace.Add(obs.KeyMulOps, 1)
+	r.trace.Add(obs.KeyMulNNZ, int64(m.NVals()))
 	if err := r.Charge(m.NVals()); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// Add is the governed element-wise OR: it folds b into a in place,
+// reports whether a changed, and records the op and the entries added
+// into the metrics registry and the run's trace. Safe on nil runs
+// (plain matrix.AddInPlace, uncounted).
+func (r *Run) Add(a, b *matrix.Bool) bool {
+	if r == nil {
+		return matrix.AddInPlace(a, b)
+	}
+	before := a.NVals()
+	changed := matrix.AddInPlace(a, b)
+	delta := int64(a.NVals() - before)
+	obs.KernelAddOps.Inc()
+	obs.KernelAddNNZ.Add(delta)
+	r.trace.Add(obs.KeyAddOps, 1)
+	r.trace.Add(obs.KeyAddNNZ, delta)
+	return changed
+}
+
+// Transpose is the governed transpose (counted, not budget-charged —
+// it produces no new relation entries).
+func (r *Run) Transpose(a *matrix.Bool) *matrix.Bool {
+	m := matrix.Transpose(a)
+	if r != nil {
+		obs.KernelTransposeOps.Inc()
+		r.trace.Add(obs.KeyTransposeOps, 1)
+	}
+	return m
+}
+
+// ObserveFrontier records a multiple-source frontier size (the nnz of
+// the src extraction the algorithm is about to multiply).
+func (r *Run) ObserveFrontier(nnz int) {
+	if r != nil {
+		obs.KernelFrontierNNZ.Observe(int64(nnz))
+	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"mscfpq/internal/cypher"
 	"mscfpq/internal/fault"
+	"mscfpq/internal/obs"
 )
 
 // durability is the crash-safety layer attached to a DB opened with
@@ -355,6 +356,7 @@ func (db *DB) Save() error {
 	dur.seq = next
 	dur.broken = nil
 	dur.mu.Unlock()
+	obs.DurRotations.Inc()
 	if err := old.Close(); err != nil {
 		return fmt.Errorf("gdb: journal rotate: closing previous journal: %w", err)
 	}

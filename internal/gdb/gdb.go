@@ -14,6 +14,7 @@ import (
 	"mscfpq/internal/cypher"
 	"mscfpq/internal/exec"
 	"mscfpq/internal/graph"
+	"mscfpq/internal/obs"
 	"mscfpq/internal/plan"
 )
 
@@ -26,15 +27,27 @@ type DB struct {
 	polMu  sync.RWMutex
 	policy Policy // guarded by polMu
 
+	// slowLog records slow and aborted queries for the SLOWLOG command;
+	// set once by New, immutable afterwards (the ring is internally
+	// synchronized).
+	slowLog *obs.SlowLog
+
 	// dur is the crash-safety layer, nil for in-memory databases (New);
 	// set once by Open before the DB is shared, immutable afterwards.
 	dur *durability
 }
 
+// slowLogCapacity bounds the slow-query ring (matches the Redis
+// slowlog-max-len default).
+const slowLogCapacity = 128
+
 // New returns an empty database.
 func New() *DB {
-	return &DB{graphs: map[string]*GraphStore{}}
+	return &DB{graphs: map[string]*GraphStore{}, slowLog: obs.NewSlowLog(slowLogCapacity)}
 }
+
+// SlowLog exposes the slow-query ring (never nil).
+func (db *DB) SlowLog() *obs.SlowLog { return db.slowLog }
 
 // GraphStore couples a labeled graph with node properties and a cache
 // of path-pattern contexts so repeated queries with the same PATH
@@ -134,6 +147,9 @@ type QueryResult struct {
 	// Write statistics (CREATE).
 	NodesCreated int
 	EdgesCreated int
+	// Profile holds the rendered execution span tree of a
+	// "PROFILE MATCH ..." statement (nil otherwise).
+	Profile []string
 }
 
 // AddGraph registers a pre-built graph under a name, replacing any
@@ -285,19 +301,24 @@ func (db *DB) Profile(name, src string) ([]string, error) {
 	return plan.RenderProfile(entries), nil
 }
 
-func (s *GraphStore) runMatch(q *cypher.Query, opts ...exec.Option) (*QueryResult, error) {
+func (s *GraphStore) runMatch(q *cypher.Query, run *exec.Run) (*QueryResult, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	planSpan := run.StartSpan("plan")
 	ctx, err := s.pathCtxForLocked(q)
 	if err != nil {
+		planSpan.End()
 		return nil, err
 	}
 	env := plan.NewEnv(s.g, nil, s)
 	p, err := plan.BuildWithCtx(q, env, ctx)
+	planSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	rs, err := p.ExecuteWith(opts...)
+	execSpan := run.StartSpan("execute")
+	rs, err := p.ExecuteWith(exec.WithRun(run))
+	execSpan.End()
 	if err != nil {
 		return nil, err
 	}

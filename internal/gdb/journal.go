@@ -7,8 +7,10 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"mscfpq/internal/fault"
+	"mscfpq/internal/obs"
 )
 
 // The operation journal is the AOF half of durability: every mutating
@@ -101,15 +103,20 @@ func appendJournal(f *os.File, o journalOp) error {
 	if err := fault.Inject(FPJournalAppend); err != nil {
 		return fmt.Errorf("gdb: journal append: %w", err)
 	}
-	if _, err := fault.Writer(FPJournalAppend, f).Write(o.encode()); err != nil {
+	rec := o.encode()
+	if _, err := fault.Writer(FPJournalAppend, f).Write(rec); err != nil {
 		return fmt.Errorf("gdb: journal append: %w", err)
 	}
 	if err := fault.Inject(FPJournalSync); err != nil {
 		return fmt.Errorf("gdb: journal sync: %w", err)
 	}
+	syncStart := time.Now()
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("gdb: journal sync: %w", err)
 	}
+	obs.DurFsyncLatencyUS.Observe(time.Since(syncStart).Microseconds())
+	obs.DurJournalAppends.Inc()
+	obs.DurJournalBytes.Add(int64(len(rec)))
 	return nil
 }
 

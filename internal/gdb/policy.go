@@ -3,11 +3,13 @@ package gdb
 import (
 	"context"
 	"errors"
+	"fmt"
 	"log"
 	"time"
 
 	"mscfpq/internal/cypher"
 	"mscfpq/internal/exec"
+	"mscfpq/internal/obs"
 )
 
 // Policy is the server-side query governance configuration: limits
@@ -59,12 +61,17 @@ func (db *DB) Policy() Policy {
 // aborted by the governor return context.Canceled,
 // context.DeadlineExceeded, or exec.ErrBudget.
 func (db *DB) QueryContext(ctx context.Context, name, src string) (*QueryResult, error) {
+	parseStart := time.Now()
 	q, err := cypher.Parse(src)
+	parseDur := time.Since(parseStart)
 	if err != nil {
 		return nil, err
 	}
 	pol := db.Policy()
 	if q.Create != nil {
+		if q.Profile {
+			return nil, fmt.Errorf("gdb: PROFILE requires a MATCH query")
+		}
 		// Writes are single-pass over the pattern list — no fixpoint to
 		// govern; honor an already-cancelled context, journal the
 		// statement (durable databases fsync before acknowledging), and
@@ -80,6 +87,7 @@ func (db *DB) QueryContext(ctx context.Context, name, src string) (*QueryResult,
 		if err != nil {
 			return nil, err
 		}
+		obs.GdbWrites.Inc()
 		return res, applyErr
 	}
 	s, err := db.Get(name)
@@ -90,21 +98,49 @@ func (db *DB) QueryContext(ctx context.Context, name, src string) (*QueryResult,
 	if q.TimeoutMS > 0 {
 		timeout = time.Duration(q.TimeoutMS) * time.Millisecond
 	}
-	run, cancel := exec.Options{Ctx: ctx, Timeout: timeout, Budget: pol.MaxWork}.Start()
+	var trace *obs.Trace
+	if q.Profile {
+		trace = obs.NewTrace("query")
+		trace.AddSpan("parse", parseDur)
+	}
+	run, cancel := exec.Options{Ctx: ctx, Timeout: timeout, Budget: pol.MaxWork, Trace: trace}.Start()
 	defer cancel()
 
 	start := time.Now()
-	res, err := s.runMatch(q, exec.WithRun(run))
+	res, err := s.runMatch(q, run)
 	elapsed := time.Since(start)
+	trace.Close()
+
+	obs.GdbQueries.Inc()
+	obs.GdbQueryLatencyUS.Observe(elapsed.Microseconds())
+	exec.RecordOutcome(err)
+
 	aborted := err != nil && (errors.Is(err, context.Canceled) ||
 		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, exec.ErrBudget))
-	if pol.Log != nil && (aborted || (pol.SlowQuery > 0 && elapsed >= pol.SlowQuery)) {
+	if aborted || (pol.SlowQuery > 0 && elapsed >= pol.SlowQuery) {
 		status := "slow"
 		if aborted {
 			status = "aborted"
 		}
-		pol.Log.Printf("slow-query status=%s graph=%q duration=%s timeout=%s work=%d budget=%d err=%v query=%q",
-			status, name, elapsed.Round(time.Microsecond), timeout, run.Spent(), pol.MaxWork, err, src)
+		obs.GdbSlowQueries.Inc()
+		entry := obs.SlowLogEntry{
+			Time: start, Graph: name, Query: src,
+			Duration: elapsed, Status: status, Work: run.Spent(),
+		}
+		if err != nil {
+			entry.Err = err.Error()
+		}
+		db.slowLog.Add(entry)
+		if pol.Log != nil {
+			pol.Log.Printf("slow-query status=%s graph=%q duration=%s timeout=%s work=%d budget=%d err=%v query=%q",
+				status, name, elapsed.Round(time.Microsecond), timeout, run.Spent(), pol.MaxWork, err, src)
+		}
 	}
-	return res, err
+	if err != nil {
+		return nil, err
+	}
+	if trace != nil {
+		res.Profile = trace.Render()
+	}
+	return res, nil
 }

@@ -10,8 +10,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"mscfpq/internal/fault"
+	"mscfpq/internal/obs"
 )
 
 // Snapshot file format (see DESIGN.md §9). A snapshot is the full
@@ -141,15 +143,18 @@ func writeSnapshotFile(dir string, seq uint64, stores map[string]*GraphStore) (e
 	if err := fault.Inject(FPSnapshotWrite); err != nil {
 		return fmt.Errorf("gdb: snapshot write: %w", err)
 	}
-	if err := writeSnapshotTo(fault.Writer(FPSnapshotWrite, f), stores); err != nil {
+	cw := &obs.CountingWriter{W: fault.Writer(FPSnapshotWrite, f)}
+	if err := writeSnapshotTo(cw, stores); err != nil {
 		return fmt.Errorf("gdb: snapshot write: %w", err)
 	}
 	if err := fault.Inject(FPSnapshotSync); err != nil {
 		return fmt.Errorf("gdb: snapshot sync: %w", err)
 	}
+	syncStart := time.Now()
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("gdb: snapshot sync: %w", err)
 	}
+	obs.DurFsyncLatencyUS.Observe(time.Since(syncStart).Microseconds())
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("gdb: snapshot close: %w", err)
 	}
@@ -165,6 +170,8 @@ func writeSnapshotFile(dir string, seq uint64, stores map[string]*GraphStore) (e
 	if err := syncDir(dir); err != nil {
 		return fmt.Errorf("gdb: snapshot dirsync: %w", err)
 	}
+	obs.DurSnapshots.Inc()
+	obs.DurSnapshotBytes.Add(cw.N)
 	return nil
 }
 

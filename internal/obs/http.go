@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Handler serves a registry snapshot as a JSON object (expvar-style:
+// flat name → value, keys sorted), for the gsql-server -metrics-addr
+// endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, err := MarshalSnapshot(r.Snapshot())
+		if err != nil {
+			http.Error(w, "metrics encode: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if _, err := w.Write(body); err != nil {
+			// Client went away mid-response; nothing actionable.
+			return
+		}
+	})
+}
+
+// MarshalSnapshot renders a snapshot as a JSON object with sorted keys
+// (encoding/json would also sort a map, but building the body by hand
+// keeps ordering explicit for detrange and the -metrics-dump flag).
+func MarshalSnapshot(s Snapshot) ([]byte, error) {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := []byte("{\n")
+	for i, k := range keys {
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, fmt.Errorf("marshal metrics key %q: %w", k, err)
+		}
+		out = append(out, "  "...)
+		out = append(out, kb...)
+		out = append(out, fmt.Sprintf(": %d", s[k])...)
+		if i < len(keys)-1 {
+			out = append(out, ',')
+		}
+		out = append(out, '\n')
+	}
+	out = append(out, "}\n"...)
+	return out, nil
+}

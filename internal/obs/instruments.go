@@ -1,0 +1,68 @@
+package obs
+
+// The instrument catalog (DESIGN.md §10). Naming convention:
+// <layer>.<subject>.<unit-ish suffix>; the INFO command groups by the
+// first dotted component (kernel → kernels section, gdb → gdb,
+// dur → durability, resp/governor → server).
+//
+// Trace span counters reuse these names verbatim, so a PROFILE span
+// tree's counter totals are directly comparable against a registry
+// snapshot delta.
+var (
+	// Matrix kernels (charged by the execution governor, exec.Run).
+	KernelMulOps       = Default.Counter("kernel.mul.ops")
+	KernelMulNNZ       = Default.Counter("kernel.mul.nnz")
+	KernelAddOps       = Default.Counter("kernel.add.ops")
+	KernelAddNNZ       = Default.Counter("kernel.add.nnz")
+	KernelTransposeOps = Default.Counter("kernel.transpose.ops")
+	KernelFrontierNNZ  = Default.Histogram("kernel.frontier.nnz", SizeBuckets)
+
+	// Fixpoint shape: rounds until convergence, per algorithm family.
+	CFPQRounds = Default.Histogram("kernel.cfpq.rounds", RoundBuckets)
+	RPQRounds  = Default.Histogram("kernel.rpq.rounds", RoundBuckets)
+
+	// Execution governor outcomes (one per top-level query).
+	GovCompleted = Default.Counter("governor.completed")
+	GovCancelled = Default.Counter("governor.cancelled")
+	GovBudget    = Default.Counter("governor.budget_exceeded")
+	GovFailed    = Default.Counter("governor.failed")
+
+	// Graph database command path.
+	GdbQueries        = Default.Counter("gdb.queries")
+	GdbWrites         = Default.Counter("gdb.writes")
+	GdbSlowQueries    = Default.Counter("gdb.slow_queries")
+	GdbQueryLatencyUS = Default.Histogram("gdb.query.latency_us", LatencyBuckets)
+
+	// Durability (snapshots + op journal).
+	DurSnapshotBytes  = Default.Counter("dur.snapshot.bytes")
+	DurSnapshots      = Default.Counter("dur.snapshot.count")
+	DurJournalBytes   = Default.Counter("dur.journal.bytes")
+	DurJournalAppends = Default.Counter("dur.journal.appends")
+	DurRotations      = Default.Counter("dur.rotations")
+	DurFsyncLatencyUS = Default.Histogram("dur.fsync.latency_us", LatencyBuckets)
+
+	// RESP serving surface.
+	RespConnsTotal   = Default.Counter("resp.conns.total")
+	RespConnsOpen    = Default.Gauge("resp.conns.open")
+	RespConnsRefused = Default.Counter("resp.conns.refused")
+	RespBusyShed     = Default.Counter("resp.busy_shed")
+	RespCommands     = Default.Counter("resp.commands")
+)
+
+// RespCmdLatency returns the latency histogram for one RESP command.
+// Callers must pass a normalized name drawn from the fixed command
+// set (unknown commands collapse to "other") so hostile clients
+// cannot grow the registry without bound.
+func RespCmdLatency(name string) *Histogram {
+	return Default.Histogram("resp.cmd."+name+".latency_us", LatencyBuckets)
+}
+
+// Trace counter keys for the kernel instruments (shared between
+// Run hooks and tests asserting span-tree/registry agreement).
+const (
+	KeyMulOps       = "kernel.mul.ops"
+	KeyMulNNZ       = "kernel.mul.nnz"
+	KeyAddOps       = "kernel.add.ops"
+	KeyAddNNZ       = "kernel.add.nnz"
+	KeyTransposeOps = "kernel.transpose.ops"
+)

@@ -1,0 +1,17 @@
+package obs
+
+import "io"
+
+// CountingWriter wraps an io.Writer and counts the bytes successfully
+// written through it — how the durability layer sizes snapshot output
+// without buffering it.
+type CountingWriter struct {
+	W io.Writer
+	N int64
+}
+
+func (c *CountingWriter) Write(p []byte) (int, error) {
+	n, err := c.W.Write(p)
+	c.N += int64(n)
+	return n, err
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowLogEntry is one slow or aborted query, as the SLOWLOG command
+// reports it.
+type SlowLogEntry struct {
+	ID       int64 // monotonically increasing, survives ring eviction
+	Time     time.Time
+	Graph    string
+	Query    string
+	Duration time.Duration
+	Status   string // "slow" or "aborted"
+	Work     int64  // relation entries produced (governor charge)
+	Err      string // non-empty for aborted queries
+}
+
+// SlowLog is a fixed-capacity ring buffer of slow-query entries, fed
+// by the database policy's slow-query path and served by the RESP
+// SLOWLOG GET/RESET/LEN commands.
+type SlowLog struct {
+	mu   sync.Mutex
+	ring []SlowLogEntry // guarded by mu
+	head int            // guarded by mu: next write position
+	n    int            // guarded by mu: live entries (<= cap)
+	next int64          // guarded by mu: next entry id
+}
+
+// NewSlowLog returns a ring holding the most recent capacity entries
+// (minimum 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{ring: make([]SlowLogEntry, capacity)}
+}
+
+// Add appends an entry, evicting the oldest once full, and returns the
+// assigned id.
+func (l *SlowLog) Add(e SlowLogEntry) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.ID = l.next
+	l.next++
+	l.ring[l.head] = e
+	l.head = (l.head + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	return e.ID
+}
+
+// Entries returns up to n entries, newest first (n <= 0 means all).
+func (l *SlowLog) Entries(n int) []SlowLogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > l.n {
+		n = l.n
+	}
+	out := make([]SlowLogEntry, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.ring[(l.head-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// Len returns the number of live entries.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Reset discards all entries (ids keep increasing, like Redis).
+func (l *SlowLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.head = 0
+	l.n = 0
+}

@@ -9,6 +9,7 @@ import (
 	"log"
 	"net"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 
 	"mscfpq/internal/fault"
 	"mscfpq/internal/gdb"
+	"mscfpq/internal/obs"
 )
 
 // FPDispatch is the failpoint at the head of command dispatch; tests
@@ -60,12 +62,15 @@ type Server struct {
 	// times out (or on hard Close) to abort in-flight fixpoints.
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	// start anchors INFO's uptime_seconds line.
+	start time.Time
 }
 
 // NewServer wraps a database.
 func NewServer(db *gdb.DB) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{DB: db, conns: map[net.Conn]struct{}{}, baseCtx: ctx, baseCancel: cancel}
+	return &Server{DB: db, conns: map[net.Conn]struct{}{}, baseCtx: ctx, baseCancel: cancel, start: time.Now()}
 }
 
 // Listen binds the address and returns the bound address (useful with
@@ -107,9 +112,12 @@ func (s *Server) Serve() error {
 		}
 		s.mu.Unlock()
 		if over {
+			obs.RespConnsRefused.Inc()
 			go s.refuse(conn)
 			continue
 		}
+		obs.RespConnsTotal.Inc()
+		obs.RespConnsOpen.Add(1)
 		go s.handle(conn)
 	}
 }
@@ -209,6 +217,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		obs.RespConnsOpen.Add(-1)
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
@@ -331,10 +340,16 @@ func (s *Server) dispatch(args []string) (reply Value, quit bool) {
 	if err := fault.Inject(FPDispatch); err != nil {
 		return Errorf("%v", err), false
 	}
+	obs.RespCommands.Inc()
+	cmdStart := time.Now()
+	defer func() {
+		obs.RespCmdLatency(cmdMetricName(args[0])).Observe(time.Since(cmdStart).Microseconds())
+	}()
 	if !lightCommand(args[0]) {
 		if limit := s.DB.Policy().MaxConcurrent; limit > 0 {
 			if s.running.Add(1) > int64(limit) {
 				s.running.Add(-1)
+				obs.RespBusyShed.Inc()
 				return Busyf("server is overloaded (%d commands running), try again later", limit), false
 			}
 			defer s.running.Add(-1)
@@ -343,11 +358,28 @@ func (s *Server) dispatch(args []string) (reply Value, quit bool) {
 	return s.execute(args)
 }
 
+// cmdMetricName normalizes a client-supplied command word into the
+// fixed label set of the per-command latency histograms; anything
+// outside the command table collapses to "other" so unknown commands
+// cannot grow the metrics registry without bound.
+func cmdMetricName(cmd string) string {
+	c := strings.ToLower(cmd)
+	switch c {
+	case "ping", "echo", "quit", "command", "info", "slowlog",
+		"graph.query", "graph.explain", "graph.stats", "graph.dump",
+		"graph.restore", "graph.profile", "graph.save", "graph.delete",
+		"graph.list":
+		return c
+	}
+	return "other"
+}
+
 // lightCommand reports commands cheap enough to bypass overload
-// shedding, so health checks keep answering under load.
+// shedding, so health checks and diagnostics (INFO, SLOWLOG) keep
+// answering under load — exactly when they are most needed.
 func lightCommand(cmd string) bool {
 	switch strings.ToUpper(cmd) {
-	case "PING", "ECHO", "QUIT", "COMMAND":
+	case "PING", "ECHO", "QUIT", "COMMAND", "INFO", "SLOWLOG":
 		return true
 	}
 	return false
@@ -371,6 +403,17 @@ func (s *Server) execute(args []string) (reply Value, quit bool) {
 		return OK(), true
 	case "COMMAND":
 		return Arr(), false
+	case "INFO":
+		if len(args) > 2 {
+			return Errorf("usage: INFO [section]"), false
+		}
+		section := ""
+		if len(args) == 2 {
+			section = strings.ToLower(args[1])
+		}
+		return s.info(section), false
+	case "SLOWLOG":
+		return s.slowlog(args), false
 	case "GRAPH.QUERY":
 		if len(args) != 3 {
 			return Errorf("usage: GRAPH.QUERY <graph> <query>"), false
@@ -467,6 +510,102 @@ func (s *Server) execute(args []string) (reply Value, quit bool) {
 	}
 }
 
+// infoSectionNames lists the INFO sections in reply order.
+var infoSectionNames = []string{"server", "gdb", "kernels", "durability"}
+
+// infoSection maps an instrument name to its INFO section by the first
+// dotted component. Anything outside the known layers (resp.*,
+// governor.*, future additions) lands in the server section.
+func infoSection(key string) string {
+	prefix, _, _ := strings.Cut(key, ".")
+	switch prefix {
+	case "kernel":
+		return "kernels"
+	case "gdb":
+		return "gdb"
+	case "dur":
+		return "durability"
+	}
+	return "server"
+}
+
+// info renders the INFO reply: Redis-style "# section" headers over
+// sorted key:value lines built from a metrics snapshot, plus a few
+// static server facts. An empty section argument selects every
+// section; an unknown one yields an empty bulk string, like Redis.
+func (s *Server) info(section string) Value {
+	snap := obs.Default.Snapshot()
+	lines := map[string][]string{
+		"server": {
+			fmt.Sprintf("uptime_seconds:%d", int64(time.Since(s.start).Seconds())),
+			fmt.Sprintf("graphs:%d", len(s.DB.List())),
+		},
+	}
+	// Snapshot.Keys is sorted, so each section's metric lines come out
+	// in one deterministic order.
+	for _, k := range snap.Keys() {
+		sec := infoSection(k)
+		lines[sec] = append(lines[sec], fmt.Sprintf("%s:%d", k, snap[k]))
+	}
+	var b strings.Builder
+	for _, name := range infoSectionNames {
+		if section != "" && section != name {
+			continue
+		}
+		b.WriteString("# " + name + "\n")
+		for _, l := range lines[name] {
+			b.WriteString(l + "\n")
+		}
+		b.WriteString("\n")
+	}
+	return Bulk(b.String())
+}
+
+// slowlog implements SLOWLOG GET [n] | RESET | LEN against the
+// database's slow-query ring. GET entries are newest-first, each a
+// fixed seven-element array: id, unix timestamp, duration in
+// microseconds, the command args (GRAPH.QUERY form), status, error
+// text (empty bulk when none), and governed work spent.
+func (s *Server) slowlog(args []string) Value {
+	if len(args) < 2 {
+		return Errorf("usage: SLOWLOG GET [count] | RESET | LEN")
+	}
+	sl := s.DB.SlowLog()
+	switch strings.ToUpper(args[1]) {
+	case "GET":
+		n := 0
+		if len(args) == 3 {
+			v, err := strconv.Atoi(args[2])
+			if err != nil || v < 0 {
+				return Errorf("SLOWLOG GET count must be a non-negative integer")
+			}
+			n = v
+		} else if len(args) > 3 {
+			return Errorf("usage: SLOWLOG GET [count]")
+		}
+		entries := sl.Entries(n)
+		out := make([]Value, len(entries))
+		for i, e := range entries {
+			out[i] = Arr(
+				Int(e.ID),
+				Int(e.Time.Unix()),
+				Int(e.Duration.Microseconds()),
+				Arr(Bulk("GRAPH.QUERY"), Bulk(e.Graph), Bulk(e.Query)),
+				Bulk(e.Status),
+				Bulk(e.Err),
+				Int(e.Work),
+			)
+		}
+		return Arr(out...)
+	case "RESET":
+		sl.Reset()
+		return OK()
+	case "LEN":
+		return Int(int64(sl.Len()))
+	}
+	return Errorf("unknown SLOWLOG subcommand '%s'", args[1])
+}
+
 // encodeResult renders a query result the way RedisGraph does: a
 // three-element array of header, rows, and statistics.
 func encodeResult(res *gdb.QueryResult) Value {
@@ -486,6 +625,11 @@ func encodeResult(res *gdb.QueryResult) Value {
 		Bulk(fmt.Sprintf("Nodes created: %d", res.NodesCreated)),
 		Bulk(fmt.Sprintf("Relationships created: %d", res.EdgesCreated)),
 		Bulk(fmt.Sprintf("Rows returned: %d", len(res.Rows))),
+	}
+	// A PROFILE'd query carries its span tree; it rides in the stats
+	// section so the reply keeps the three-element RedisGraph shape.
+	for _, l := range res.Profile {
+		stats = append(stats, Bulk(l))
 	}
 	return Arr(Arr(header...), Arr(rows...), Arr(stats...))
 }

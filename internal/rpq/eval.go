@@ -7,6 +7,7 @@ import (
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
+	"mscfpq/internal/obs"
 )
 
 // EvalPairs answers a multiple-source regular path query with pair
@@ -44,10 +45,13 @@ func EvalPairs(g *graph.Graph, n *NFA, src *matrix.Vector, opts ...exec.Option) 
 		labelM[l] = m
 	}
 
+	rounds := 0
 	for changed := true; changed; {
 		changed = false
+		rounds++
+		span := run.StartSpan(fmt.Sprintf("round %d", rounds))
 		for _, e := range n.Eps {
-			if matrix.AddInPlace(r[e[1]], r[e[0]]) {
+			if run.Add(r[e[1]], r[e[0]]) {
 				changed = true
 			}
 		}
@@ -62,14 +66,17 @@ func EvalPairs(g *graph.Graph, n *NFA, src *matrix.Vector, opts ...exec.Option) 
 				}
 				prod, err := run.Mul(r[tr[0]], gm)
 				if err != nil {
+					span.End()
 					return nil, err
 				}
-				if matrix.AddInPlace(r[tr[1]], prod) {
+				if run.Add(r[tr[1]], prod) {
 					changed = true
 				}
 			}
 		}
+		span.End()
 	}
+	obs.RPQRounds.Observe(int64(rounds))
 	return matrix.ExtractRows(r[n.Accept], src), nil
 }
 

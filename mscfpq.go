@@ -30,6 +30,7 @@ import (
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/matrix"
+	"mscfpq/internal/obs"
 	"mscfpq/internal/resp"
 	"mscfpq/internal/rpq"
 	"mscfpq/internal/rsm"
@@ -52,6 +53,13 @@ type (
 	Option = exec.Option
 	// Engine selects the evaluation strategy of EvalRPQ.
 	Engine = exec.Engine
+	// Algorithm selects the evaluation strategy of EvalCFPQ.
+	Algorithm = exec.Algorithm
+	// Trace records a per-query span tree with kernel counter deltas;
+	// attach one with WithTrace and render it with Trace.Render.
+	Trace = obs.Trace
+	// TraceSpan is one timed stage of a traced query.
+	TraceSpan = obs.Span
 )
 
 var (
@@ -67,9 +75,37 @@ var (
 	WithHybridKernels = exec.WithHybridKernels
 	// WithEngine selects the RPQ evaluation engine (see EvalRPQ).
 	WithEngine = exec.WithEngine
+	// WithAlgorithm selects the CFPQ evaluation algorithm (see EvalCFPQ).
+	WithAlgorithm = exec.WithAlgorithm
+	// WithTrace attaches a per-query trace recording stage spans and
+	// kernel counter deltas.
+	WithTrace = exec.WithTrace
+	// NewTrace starts a trace for WithTrace; call Trace.Close when the
+	// query returns, then Trace.Render or Trace.Root to inspect it.
+	NewTrace = obs.NewTrace
 
 	// ErrBudget is returned when a query exceeds its work budget.
 	ErrBudget = exec.ErrBudget
+)
+
+// CFPQ algorithms for WithAlgorithm.
+const (
+	// AlgAuto picks by query shape: multiple-source when a source set
+	// is given, all-pairs otherwise.
+	AlgAuto = exec.AlgAuto
+	// AlgMatrix is the all-pairs matrix algorithm (Algorithm 1).
+	AlgMatrix = exec.AlgMatrix
+	// AlgSemiNaive is the delta-driven all-pairs variant.
+	AlgSemiNaive = exec.AlgSemiNaive
+	// AlgWorklist is the non-linear-algebra CFL-reachability baseline.
+	AlgWorklist = exec.AlgWorklist
+	// AlgMultiSource is the multiple-source algorithm (Algorithm 2).
+	AlgMultiSource = exec.AlgMultiSource
+	// AlgSinglePath is all-pairs with single-path witness extraction.
+	AlgSinglePath = exec.AlgSinglePath
+	// AlgMSSinglePath is multiple-source with single-path witness
+	// extraction.
+	AlgMSSinglePath = exec.AlgMSSinglePath
 )
 
 // RPQ engines for WithEngine.
@@ -115,8 +151,20 @@ type (
 	Index = cfpq.Index
 	// SinglePathResult additionally reconstructs witness paths.
 	SinglePathResult = cfpq.SinglePathResult
+	// MSSinglePathResult is a multiple-source result with single-path
+	// semantics (MultiSourceSinglePath).
+	MSSinglePathResult = cfpq.MSSinglePathResult
 	// PathStep is one edge (or vertex-label step) of an extracted path.
 	PathStep = cfpq.PathStep
+	// CFPQResult is the unified result of EvalCFPQ: answer pairs plus
+	// evaluation statistics, independent of the algorithm.
+	CFPQResult = cfpq.EvalResult
+	// PathCFPQResult is the CFPQResult extension of the single-path
+	// algorithms: one witness path per answer pair.
+	PathCFPQResult = cfpq.PathEvalResult
+	// CFPQStats reports how an EvalCFPQ evaluation ran (algorithm,
+	// fixpoint rounds, governor work, answer count).
+	CFPQStats = cfpq.Stats
 )
 
 // Database layer.
@@ -196,12 +244,37 @@ func NewVertexSet(n int, ids ...int) *VertexSet {
 	return matrix.NewVectorFromIndices(n, valid)
 }
 
+// EvalCFPQ is the unified CFPQ entry point, mirroring EvalRPQ: it
+// evaluates the query defined by w over g with the algorithm selected
+// by WithAlgorithm (AlgAuto picks multiple-source when src is non-nil,
+// all-pairs otherwise). A non-nil src restricts the answer to those
+// sources under every algorithm, so the options are interchangeable:
+//
+//	res, err := mscfpq.EvalCFPQ(g, w, src)                              // Algorithm 2
+//	res, err := mscfpq.EvalCFPQ(g, w, nil,
+//		mscfpq.WithAlgorithm(mscfpq.AlgSemiNaive))                      // all-pairs, delta iteration
+//
+// Results from AlgSinglePath and AlgMSSinglePath additionally satisfy
+// PathCFPQResult. All exec options (timeout, budget, workers, trace)
+// apply.
+func EvalCFPQ(g *Graph, w *WCNF, src *VertexSet, opts ...Option) (CFPQResult, error) {
+	return cfpq.Eval(g, w, src, opts...)
+}
+
 // AllPairs runs Azimov's all-pairs CFPQ algorithm (Algorithm 1).
+//
+// Deprecated: use EvalCFPQ with WithAlgorithm(AlgMatrix); AllPairs
+// remains for callers that need the concrete Result with its
+// per-nonterminal relation matrices.
 func AllPairs(g *Graph, w *WCNF, opts ...Option) (*Result, error) {
 	return cfpq.AllPairs(g, w, opts...)
 }
 
 // MultiSource runs the paper's multiple-source algorithm (Algorithm 2).
+//
+// Deprecated: use EvalCFPQ with WithAlgorithm(AlgMultiSource);
+// MultiSource remains for callers that need the concrete MSResult with
+// its source matrices.
 func MultiSource(g *Graph, w *WCNF, src *VertexSet, opts ...Option) (*MSResult, error) {
 	return cfpq.MultiSource(g, w, src, opts...)
 }
@@ -216,6 +289,10 @@ func NewIndex(g *Graph, w *WCNF, opts ...Option) (*Index, error) {
 
 // SinglePath runs all-pairs CFPQ with single-path semantics; the result
 // reconstructs one witness path per reachability fact.
+//
+// Deprecated: use EvalCFPQ with WithAlgorithm(AlgSinglePath); the
+// result satisfies PathCFPQResult. SinglePath remains for callers that
+// need the concrete SinglePathResult.
 func SinglePath(g *Graph, w *WCNF, opts ...Option) (*SinglePathResult, error) {
 	return cfpq.SinglePath(g, w, opts...)
 }
@@ -223,17 +300,28 @@ func SinglePath(g *Graph, w *WCNF, opts ...Option) (*SinglePathResult, error) {
 // MultiSourceSinglePath combines the multiple-source restriction of
 // Algorithm 2 with single-path semantics: only paths from src are
 // computed, and each answer pair can be expanded into a witness path.
-func MultiSourceSinglePath(g *Graph, w *WCNF, src *VertexSet, opts ...Option) (*cfpq.MSSinglePathResult, error) {
+//
+// Deprecated: use EvalCFPQ with WithAlgorithm(AlgMSSinglePath); the
+// result satisfies PathCFPQResult. MultiSourceSinglePath remains for
+// callers that need the concrete MSSinglePathResult.
+func MultiSourceSinglePath(g *Graph, w *WCNF, src *VertexSet, opts ...Option) (*MSSinglePathResult, error) {
 	return cfpq.MultiSourceSinglePath(g, w, src, opts...)
 }
 
+// Word returns the label word of an extracted path.
+func Word(steps []PathStep) []string { return cfpq.Word(steps) }
+
 // AllPairsSemiNaive is AllPairs with semi-naive (delta) iteration; it
 // wins when the fixpoint runs many rounds (dense, deep hierarchies).
+//
+// Deprecated: use EvalCFPQ with WithAlgorithm(AlgSemiNaive).
 func AllPairsSemiNaive(g *Graph, w *WCNF, opts ...Option) (*Result, error) {
 	return cfpq.AllPairsSemiNaive(g, w, opts...)
 }
 
 // Worklist runs the non-linear-algebra CFL-reachability baseline.
+//
+// Deprecated: use EvalCFPQ with WithAlgorithm(AlgWorklist).
 func Worklist(g *Graph, w *WCNF, opts ...Option) (*Result, error) {
 	return cfpq.Worklist(g, w, opts...)
 }

@@ -1,0 +1,91 @@
+package mscfpq
+
+import (
+	"fmt"
+	"testing"
+
+	"mscfpq/internal/obs"
+)
+
+// TestFacadeEvalCFPQTraceFigure1 runs the paper's running-example query
+// (c^n y d^n, Section 2.3) over the Figure 1 graph through the unified
+// EvalCFPQ entry point with a trace attached, and checks the span tree:
+// one "round N" child per fixpoint iteration, in order, with kernel
+// counter totals that exactly match the metrics registry's delta over
+// the same evaluation.
+func TestFacadeEvalCFPQTraceFigure1(t *testing.T) {
+	g, err := LoadGraph("testdata/example_graph.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := LoadGrammar("queries/cnd.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ToWCNF(gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Untraced all-pairs reference.
+	ref, err := EvalCFPQ(g, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg := ref.Stats().Algorithm; alg != AlgMatrix {
+		t.Fatalf("auto algorithm without sources = %v, want %v", alg, AlgMatrix)
+	}
+	if len(ref.Pairs()) == 0 {
+		t.Fatal("running-example query has a known nonempty answer")
+	}
+
+	// Traced multiple-source run over every vertex: identical answer.
+	src := NewVertexSet(g.NumVertices(), 0, 1, 2, 3, 4, 5)
+	tr := NewTrace("cfpq")
+	before := obs.Default.Snapshot()
+	res, err := EvalCFPQ(g, w, src, WithTrace(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := obs.Default.Snapshot().Sub(before)
+	tr.Close()
+
+	if alg := res.Stats().Algorithm; alg != AlgMultiSource {
+		t.Fatalf("auto algorithm with sources = %v, want %v", alg, AlgMultiSource)
+	}
+	got, want := res.Pairs(), ref.Pairs()
+	if len(got) != len(want) {
+		t.Fatalf("traced answer %v differs from reference %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("traced answer %v differs from reference %v", got, want)
+		}
+	}
+
+	// Span-tree shape: the root holds one child per fixpoint round, in
+	// order, and nothing else.
+	root := tr.Root()
+	if root.Name != "cfpq" {
+		t.Fatalf("root span = %q", root.Name)
+	}
+	if len(root.Children) == 0 || len(root.Children) != res.Stats().Rounds {
+		t.Fatalf("%d round spans for %d rounds", len(root.Children), res.Stats().Rounds)
+	}
+	for i, c := range root.Children {
+		if want := fmt.Sprintf("round %d", i+1); c.Name != want {
+			t.Fatalf("child %d = %q, want %q", i, c.Name, want)
+		}
+	}
+
+	// Counter agreement: the tree's kernel totals are exactly the
+	// registry's deltas — the two views of kernel work never drift.
+	for _, key := range []string{"kernel.mul.ops", "kernel.mul.nnz", "kernel.add.ops", "kernel.add.nnz"} {
+		if tot := root.Total(key); tot != delta[key] {
+			t.Errorf("%s: span total %d != registry delta %d", key, tot, delta[key])
+		}
+	}
+	if root.Total("kernel.mul.ops") == 0 {
+		t.Fatal("expected mul work in the fixpoint")
+	}
+}
