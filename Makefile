@@ -5,7 +5,7 @@ GO ?= go
 # Packages with internal concurrency (query governor, index locking,
 # server drain); `race-quick` covers just these, `race` the whole
 # module.
-RACE_PKGS = ./internal/gdb ./internal/resp ./internal/cfpq ./internal/exec
+RACE_PKGS = ./internal/gdb ./internal/resp ./internal/cfpq ./internal/exec ./internal/store
 
 .PHONY: check all build vet test race race-quick cover bench bench-quick bench-smoke experiments fuzz fuzz-smoke diff-test diff-test-slow chaos lint lint-tools clean
 
@@ -39,11 +39,13 @@ diff-test-slow:
 	$(GO) test -tags=slow -count=1 ./internal/difftest
 
 # Chaos suite: fault-injected crash/recovery over every durability
-# failpoint, plus the hostile-client server tests, race-enabled (see
+# failpoint, the hostile-client server tests, and the snapshot/cache
+# concurrency stress suite (TestStress*: pinned-version reads vs
+# concurrent writes checked against the oracle), race-enabled (see
 # TESTING.md). The nofault build proves the failpoint framework
 # compiles down to no-ops for release builds.
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos|TestHostile|TestDispatchPanic|TestBusyShedding|TestShutdownRaces|TestMaxConns|TestIdleTimeout|TestReadBoundedLine' ./internal/gdb ./internal/resp ./internal/fault
+	$(GO) test -race -count=1 -run 'TestChaos|TestHostile|TestDispatchPanic|TestBusyShedding|TestShutdownRaces|TestMaxConns|TestIdleTimeout|TestReadBoundedLine|TestStress|TestStoreConcurrentPinUpdate' ./internal/gdb ./internal/resp ./internal/fault ./internal/store
 	$(GO) build -tags=nofault ./...
 	$(GO) test -tags=nofault -count=1 ./internal/fault
 
@@ -64,9 +66,12 @@ bench-quick:
 # Observability overhead smoke (see TESTING.md): the governed-kernel
 # and multiple-source workloads with the metrics registry on vs off,
 # recorded to BENCH_obs.json. The acceptance gate for the obs layer is
-# governed-kernel overhead <= 3%.
+# governed-kernel overhead <= 3%. The cache smoke measures cold-vs-warm
+# latency and concurrent-reader throughput into BENCH_cache.json; its
+# acceptance gate (warm hit >= 10x faster than cold) fails the run.
 bench-smoke:
 	$(GO) run ./cmd/benchrunner -exp obs -quick -json BENCH_obs.json
+	$(GO) run ./cmd/benchrunner -exp cache -quick -json BENCH_cache.json
 
 # Short fuzzing sessions over every parser.
 fuzz:
@@ -77,6 +82,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=30s ./internal/graph/
 	$(GO) test -run=NONE -fuzz=FuzzRecoverJournal -fuzztime=30s ./internal/gdb/
 	$(GO) test -run=NONE -fuzz=FuzzRecoverSnapshot -fuzztime=30s ./internal/gdb/
+	$(GO) test -run=NONE -fuzz=FuzzCacheKey -fuzztime=30s ./internal/store/
 
 # Ten-second fuzz pass per target: enough to catch shallow regressions
 # on every CI run without holding the pipeline hostage.
@@ -88,6 +94,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzRead -fuzztime=10s ./internal/graph/
 	$(GO) test -run=NONE -fuzz=FuzzRecoverJournal -fuzztime=10s ./internal/gdb/
 	$(GO) test -run=NONE -fuzz=FuzzRecoverSnapshot -fuzztime=10s ./internal/gdb/
+	$(GO) test -run=NONE -fuzz=FuzzCacheKey -fuzztime=10s ./internal/store/
 
 # Static analysis gate: formatting, the repository's own analyzers
 # (cmd/mscfpq-lint — see DESIGN.md), and, when the pinned tool is
@@ -112,4 +119,4 @@ lint-tools:
 	$(GO) install golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
 clean:
-	rm -f test_output.txt bench_output.txt BENCH_obs.json
+	rm -f test_output.txt bench_output.txt BENCH_obs.json BENCH_cache.json

@@ -171,13 +171,33 @@ func run(args []string, stdout io.Writer) error {
 				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 			}
 			return rep.Render(stdout)
+		case "cache":
+			rep, measurements, err := bench.CacheBench(cfg)
+			if err != nil {
+				return err
+			}
+			if *jsonPath != "" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					return err
+				}
+				if err := bench.WriteCacheJSON(f, measurements); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+			}
+			return rep.Render(stdout)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig2", "figures", "ablation", "fullstack", "rpq", "obs"} {
+		for _, name := range []string{"table1", "fig2", "figures", "ablation", "fullstack", "rpq", "obs", "cache"} {
 			if err := runOne(name); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

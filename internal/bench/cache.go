@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/store"
+)
+
+// cacheReps is how many cold/warm latency samples each source set
+// takes; each warm sample batches cacheWarmInner lookups so the
+// sub-microsecond hit path is not lost in timer jitter.
+const (
+	cacheReps      = 9
+	cacheWarmInner = 64
+	// cacheMinSpeedup is the acceptance gate (ISSUE 7): a warm hit must
+	// be at least this much faster than the cold evaluation it replaces.
+	cacheMinSpeedup = 10
+)
+
+// CacheMeasurement is one row of the cache experiment, as serialized
+// into BENCH_cache.json by `make bench-smoke`: either a cold-vs-warm
+// latency pair (Readers == 0) or a concurrent-reader throughput run.
+type CacheMeasurement struct {
+	Workload      string  `json:"workload"`
+	Graph         string  `json:"graph"`
+	Query         string  `json:"query"`
+	Sources       int     `json:"sources,omitempty"`
+	ColdMS        float64 `json:"cold_ms,omitempty"`
+	WarmMS        float64 `json:"warm_ms,omitempty"`
+	Speedup       float64 `json:"speedup,omitempty"`
+	Readers       int     `json:"readers,omitempty"`
+	ThroughputQPS float64 `json:"throughput_qps,omitempty"`
+	Reps          int     `json:"reps"`
+}
+
+// CacheBench measures the versioned query cache (DESIGN.md §11): the
+// latency of a cold evaluation vs a warm version-keyed hit for each
+// source-set size, and the aggregate throughput of 1/4/8 concurrent
+// readers hammering a warm cache against a pinned snapshot. It returns
+// an error if any warm hit fails the >=10x acceptance gate.
+func CacheBench(cfg Config) (*Report, []CacheMeasurement, error) {
+	const graphName = "core"
+	g, spec, err := cfg.Generate(graphName)
+	if err != nil {
+		return nil, nil, err
+	}
+	qname, q := queryFor(graphName)
+	w, err := grammar.ToWCNF(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := store.New(g)
+	snap := st.Pin()
+	cache := store.NewCache(64<<20, 0)
+
+	rep := &Report{
+		ID:      "Cache",
+		Title:   "Versioned query cache: cold vs warm latency and reader scaling",
+		Columns: []string{"Workload", "Sources/Readers", "Cold ms", "Warm ms", "Speedup", "QPS"},
+	}
+	var out []CacheMeasurement
+
+	for _, size := range cfg.ChunkSizes {
+		srcs := cfg.chunks(g.NumVertices(), size)
+		if len(srcs) == 0 {
+			continue
+		}
+		src := srcs[0]
+		var cold, warm time.Duration
+		for trial := 0; trial < cacheReps; trial++ {
+			// A fresh version key per trial forces a true cold evaluation
+			// (and exercises the invalidation sweep on every fill).
+			version := uint64(trial)
+			dCold, err := timeIt(func() error {
+				_, hit, err := store.CachedEval(cache, st.ID(), version, snap.Graph(), w, src)
+				if err == nil && hit {
+					return fmt.Errorf("cold run hit the cache")
+				}
+				return err
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("cold size %d: %w", size, err)
+			}
+			dWarm, err := timeIt(func() error {
+				for i := 0; i < cacheWarmInner; i++ {
+					_, hit, err := store.CachedEval(cache, st.ID(), version, snap.Graph(), w, src)
+					if err != nil {
+						return err
+					}
+					if !hit {
+						return fmt.Errorf("warm run missed the cache")
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("warm size %d: %w", size, err)
+			}
+			dWarm /= cacheWarmInner
+			if cold == 0 || dCold < cold {
+				cold = dCold
+			}
+			if warm == 0 || dWarm < warm {
+				warm = dWarm
+			}
+		}
+		if warm <= 0 {
+			warm = time.Nanosecond
+		}
+		speedup := float64(cold) / float64(warm)
+		m := CacheMeasurement{
+			Workload: "cold-vs-warm", Graph: spec.Name, Query: qname,
+			Sources: src.NVals(),
+			ColdMS:  float64(cold.Nanoseconds()) / 1e6,
+			WarmMS:  float64(warm.Nanoseconds()) / 1e6,
+			Speedup: speedup, Reps: cacheReps,
+		}
+		out = append(out, m)
+		rep.Rows = append(rep.Rows, []string{
+			m.Workload, fmt.Sprintf("%d src", m.Sources), ms(cold), ms(warm),
+			fmt.Sprintf("%.0fx", speedup), "-",
+		})
+		if speedup < cacheMinSpeedup {
+			return nil, nil, fmt.Errorf(
+				"cache acceptance gate failed: %d sources: warm %.4fms vs cold %.4fms (%.1fx < %dx)",
+				m.Sources, m.WarmMS, m.ColdMS, speedup, cacheMinSpeedup)
+		}
+	}
+
+	// Concurrent readers against a warm cache: every query is a hit, so
+	// this measures contention on the cache's lock and the lock-free
+	// snapshot pin, not evaluation time.
+	srcs := cfg.chunks(g.NumVertices(), cfg.ChunkSizes[len(cfg.ChunkSizes)-1])
+	for _, src := range srcs {
+		if _, _, err := store.CachedEval(cache, st.ID(), 0, snap.Graph(), w, src); err != nil {
+			return nil, nil, err
+		}
+	}
+	const window = 100 * time.Millisecond
+	for _, readers := range []int{1, 4, 8} {
+		var ops atomic.Int64
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				i := r
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					pin := st.Pin()
+					src := srcs[i%len(srcs)]
+					if _, _, err := store.CachedEval(cache, pin.StoreID(), pin.Version(), pin.Graph(), w, src); err != nil {
+						return
+					}
+					ops.Add(1)
+					i++
+				}
+			}(r)
+		}
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		qps := float64(ops.Load()) / window.Seconds()
+		m := CacheMeasurement{
+			Workload: "concurrent-readers", Graph: spec.Name, Query: qname,
+			Readers: readers, ThroughputQPS: qps, Reps: 1,
+		}
+		out = append(out, m)
+		rep.Rows = append(rep.Rows, []string{
+			m.Workload, fmt.Sprintf("%d readers", readers), "-", "-", "-",
+			fmt.Sprintf("%.0f", qps),
+		})
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"cold/warm are per-mode minima over %d reps (warm batches of %d); acceptance: warm hit >= %dx faster than cold; throughput windows of %s on an all-hit cache",
+		cacheReps, cacheWarmInner, cacheMinSpeedup, window))
+	return rep, out, nil
+}
+
+// WriteCacheJSON serializes the measurements as indented JSON.
+func WriteCacheJSON(w io.Writer, ms []CacheMeasurement) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ms)
+}

@@ -60,6 +60,52 @@ func NewIndex(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Index, error) {
 	return idx, nil
 }
 
+// NewIndexWarm creates an index for (g, w) seeded from a prior index's
+// accumulated relations — the warm start of the incremental re-query
+// path: when a graph version grows out of an older one by edge and
+// vertex ADDITIONS only (the gdb write path never deletes), every fact
+// the old index derived remains derivable, because CFPQ facts are
+// monotone under edge addition. Seeding T with them can therefore only
+// skip work, never change answers. The processed-source matrices start
+// EMPTY: a source fully processed against the old graph may reach new
+// facts through the added edges, so its claim must not carry over —
+// the first query touching it reprocesses it against the new graph.
+//
+// The caller is responsible for the supergraph relationship (in the
+// store layer it follows from version lineage); w must be the prior
+// index's grammar.
+func NewIndexWarm(g *graph.Graph, w *grammar.WCNF, prior *Index, opts ...Option) (*Index, error) {
+	idx, err := NewIndex(g, w, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if prior == nil {
+		return idx, nil
+	}
+	if prior.W != w {
+		return nil, fmt.Errorf("cfpq: warm start requires the prior index's grammar")
+	}
+	n := g.NumVertices()
+	if pn := prior.G.NumVertices(); pn > n {
+		return nil, fmt.Errorf("cfpq: warm start from a larger graph (%d > %d vertices)", pn, n)
+	}
+	prior.mu.Lock()
+	defer prior.mu.Unlock()
+	// idx is unpublished, but its invariants are mu-guarded; taking the
+	// lock is free here and keeps the guarantee machine-checked.
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	for a := range idx.T {
+		if prior.T[a].NVals() == 0 {
+			continue
+		}
+		warm := prior.T[a].Clone()
+		warm.Resize(n, n)
+		matrix.AddInPlace(idx.T[a], warm)
+	}
+	return idx, nil
+}
+
 // Queries returns the number of queries evaluated against the index.
 func (idx *Index) Queries() int {
 	idx.mu.Lock()

@@ -1,0 +1,98 @@
+package cfpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"mscfpq/internal/matrix"
+)
+
+// TestWarmIndexMatchesFreshProperty: an index warm-started from a prior
+// version's relations answers every query on the grown graph exactly as
+// a fresh index does — the soundness contract that lets gdb carry a
+// PathCtx across versions (monotone edge addition keeps old facts
+// derivable; processed-source claims are reset).
+func TestWarmIndexMatchesFreshProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	labels := []string{"a", "b", "subClassOf"}
+	for name, w := range testGrammars() {
+		w := w
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 8; trial++ {
+				n := 5 + rng.Intn(12)
+				g := randomGraph(rng, n, 2+rng.Intn(3*n), labels)
+				prior, err := NewIndex(g, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Populate the prior index with a few queries.
+				for q := 0; q < 3; q++ {
+					src := matrix.NewVectorFromIndices(n, []int{rng.Intn(n), rng.Intn(n)})
+					if _, err := prior.MultiSourceSmart(src); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Grow a successor version: additions only, including new
+				// vertices — the gdb write-path guarantee.
+				g2 := g.CowClone()
+				n2 := n + 1 + rng.Intn(3)
+				for e := 0; e < 1+rng.Intn(6); e++ {
+					g2.AddEdge(rng.Intn(n2), labels[rng.Intn(len(labels))], rng.Intn(n2))
+				}
+				n2 = g2.NumVertices()
+
+				warm, err := NewIndexWarm(g2, w, prior)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := NewIndex(g2, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for q := 0; q < 4; q++ {
+					src := matrix.NewVectorFromIndices(n2, []int{rng.Intn(n2), rng.Intn(n2)})
+					wa, err := warm.MultiSourceSmart(src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fa, err := fresh.MultiSourceSmart(src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !wa.Answer().Equal(fa.Answer()) {
+						t.Fatalf("trial %d query %d src=%v: warm differs from fresh\nwarm:  %v\nfresh: %v",
+							trial, q, src.Ints(), wa.Answer().Pairs(), fa.Answer().Pairs())
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestWarmIndexNilPriorAndErrors(t *testing.T) {
+	g := paperGraph()
+	w := cndGrammar()
+	idx, err := NewIndexWarm(g, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.MultiSourceSmart(matrix.NewVectorFromIndices(6, []int{3})); err != nil {
+		t.Fatal(err)
+	}
+
+	prior, err := NewIndex(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different grammar object must be rejected even if structurally
+	// equal: the seeded relation ids would silently mean other symbols.
+	w2 := cndGrammar()
+	if _, err := NewIndexWarm(g, w2, prior); err == nil {
+		t.Fatal("expected grammar mismatch error")
+	}
+	// Warm-starting onto a SMALLER graph is not a supergraph.
+	small := randomGraph(rand.New(rand.NewSource(1)), 3, 3, []string{"a", "b"})
+	if _, err := NewIndexWarm(small, w, prior); err == nil {
+		t.Fatal("expected shrunk-graph error")
+	}
+}

@@ -67,6 +67,23 @@ func TestDifferentialEval(t *testing.T) {
 	}
 }
 
+// TestDifferentialEvalCached reruns every algorithm through the
+// version-keyed query cache: cold fill, warm hit, and the recompute
+// after a version bump must be byte-identical to the uncached Eval,
+// and permuted source lists must canonicalize onto the warm entry.
+func TestDifferentialEvalCached(t *testing.T) {
+	failures := 0
+	for i := 0; i < cfpqInstances/4; i++ {
+		inst := gen.NewInstance(*seedFlag+int64(4_000_000+i), maxGraphVertices)
+		if err := CheckEvalCached(inst); err != nil {
+			reportCFPQFailure(t, inst, err, CheckEvalCached)
+			if failures++; failures >= 3 {
+				t.Fatalf("stopping after %d failing instances", failures)
+			}
+		}
+	}
+}
+
 // TestDifferentialRPQ drives the four RPQ engines (NFA, minimized DFA,
 // CFPQ reduction, Kronecker tensor) against the BFS-product oracle on
 // seeded random (graph, regex, source-set) cases.

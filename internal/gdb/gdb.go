@@ -16,16 +16,24 @@ import (
 	"mscfpq/internal/graph"
 	"mscfpq/internal/obs"
 	"mscfpq/internal/plan"
+	"mscfpq/internal/store"
 )
 
-// DB is a named collection of graphs, safe for concurrent use: writes
-// (CREATE, DELETE) take exclusive locks, queries share read locks.
+// DB is a named collection of graphs, safe for concurrent use. Queries
+// evaluate lock-free against pinned snapshots (internal/store); writes
+// are serialized per graph and by the durability commit path.
 type DB struct {
 	mu     sync.RWMutex
 	graphs map[string]*GraphStore // guarded by mu
 
 	polMu  sync.RWMutex
 	policy Policy // guarded by polMu
+
+	// cache is the version-keyed query-result cache, shared by all
+	// graphs of the database; set once by newDB, immutable afterwards
+	// (the cache is internally synchronized). Disabled until a policy
+	// sets CacheMaxBytes.
+	cache *store.Cache
 
 	// slowLog records slow and aborted queries for the SLOWLOG command;
 	// set once by New, immutable afterwards (the ring is internally
@@ -43,21 +51,29 @@ const slowLogCapacity = 128
 
 // New returns an empty database.
 func New() *DB {
-	return &DB{graphs: map[string]*GraphStore{}, slowLog: obs.NewSlowLog(slowLogCapacity)}
+	return &DB{
+		graphs:  map[string]*GraphStore{},
+		cache:   store.NewCache(0, 0),
+		slowLog: obs.NewSlowLog(slowLogCapacity),
+	}
 }
 
 // SlowLog exposes the slow-query ring (never nil).
 func (db *DB) SlowLog() *obs.SlowLog { return db.slowLog }
 
-// GraphStore couples a labeled graph with node properties and a cache
-// of path-pattern contexts so repeated queries with the same PATH
-// PATTERN declarations share one Algorithm 3 index (the paper's
-// motivating scenario for the optimized multiple-source algorithm).
+// Cache exposes the query-result cache (never nil; disabled by
+// default — SetPolicy with a CacheMaxBytes enables it).
+func (db *DB) Cache() *store.Cache { return db.cache }
+
+// GraphStore couples an epoch-versioned graph store (immutable
+// snapshots + node properties) with a cache of path-pattern contexts,
+// so repeated queries with the same PATH PATTERN declarations share one
+// Algorithm 3 index (the paper's motivating scenario for the optimized
+// multiple-source algorithm). Queries pin a snapshot and evaluate
+// against it without holding any lock; writes publish new versions
+// without waiting for readers.
 type GraphStore struct {
-	mu      sync.RWMutex
-	g       *graph.Graph
-	props   map[int]map[string]cypher.Value // guarded by mu
-	version int                             // guarded by mu: bumped on every write; invalidates cached contexts
+	st *store.Store
 
 	ctxMu    sync.Mutex
 	ctxCache map[string]*cachedCtx // guarded by ctxMu
@@ -66,78 +82,100 @@ type GraphStore struct {
 
 type cachedCtx struct {
 	ctx     *plan.PathCtx
-	version int
+	version uint64
 }
 
-// NewGraphStore wraps an existing graph (no properties).
+// NewGraphStore wraps an existing graph (no properties) as version 0.
+// The graph is adopted by the store: seed it fully before the first
+// versioned write, or mutate through queries.
 func NewGraphStore(g *graph.Graph) *GraphStore {
 	return &GraphStore{
-		g:        g,
-		props:    map[int]map[string]cypher.Value{},
+		st:       store.New(g),
 		ctxCache: map[string]*cachedCtx{},
 	}
 }
 
-// pathCtxForLocked returns a shared path-pattern context for the
-// query's declarations, rebuilding it when the graph version changed.
-// Queries without declarations always get a fresh empty context
-// (cheap). Callers must hold s.mu (read or write): version is guarded
-// by mu, and the context build reads the graph.
-func (s *GraphStore) pathCtxForLocked(q *cypher.Query) (*plan.PathCtx, error) {
+// Snapshot pins the current version for lock-free evaluation.
+func (s *GraphStore) Snapshot() *store.Snapshot { return s.st.Pin() }
+
+// Version returns the current graph version (0 = initial state, +1 per
+// committed write).
+func (s *GraphStore) Version() uint64 { return s.st.Version() }
+
+// StoreID returns the process-unique identity of the backing store
+// (part of every cache key).
+func (s *GraphStore) StoreID() uint64 { return s.st.ID() }
+
+// pathCtxFor returns a path-pattern context for the query's
+// declarations, evaluated against the pinned snapshot. The cache keeps
+// one context per declaration set at the newest version seen: an exact
+// version match is reused outright; a context from an OLDER version is
+// warm-started into the snapshot's version (the write path only adds
+// edges and vertices, so the accumulated index facts stay sound — see
+// cfpq.NewIndexWarm); a reader pinned BEHIND the cached version builds
+// a private context without disturbing the cache. Queries without
+// declarations always get a fresh empty context (cheap).
+func (s *GraphStore) pathCtxFor(snap *store.Snapshot, q *cypher.Query) (*plan.PathCtx, error) {
 	if len(q.PathPatterns) == 0 {
-		return plan.NewPathCtx(s.g, nil)
+		return plan.NewPathCtx(snap.Graph(), nil)
 	}
 	key := plan.CtxKey(q.PathPatterns)
+	v := snap.Version()
 	s.ctxMu.Lock()
 	defer s.ctxMu.Unlock()
-	if c, ok := s.ctxCache[key]; ok && c.version == s.version {
-		s.ctxHits++
-		return c.ctx, nil
+	if c, ok := s.ctxCache[key]; ok {
+		if c.version == v {
+			s.ctxHits++
+			return c.ctx, nil
+		}
+		if c.version < v {
+			if ctx, err := c.ctx.WarmSuccessor(snap.Graph()); err == nil {
+				s.ctxCache[key] = &cachedCtx{ctx: ctx, version: v}
+				return ctx, nil
+			}
+			// Warm start failed (shouldn't happen along a version
+			// lineage); fall through to a cold build.
+		} else {
+			// The cache moved past this reader's pinned version; serve
+			// it a private context and leave the cache at the newer one.
+			return plan.NewPathCtx(snap.Graph(), q.PathPatterns)
+		}
 	}
-	ctx, err := plan.NewPathCtx(s.g, q.PathPatterns)
+	ctx, err := plan.NewPathCtx(snap.Graph(), q.PathPatterns)
 	if err != nil {
 		return nil, err
 	}
-	s.ctxCache[key] = &cachedCtx{ctx: ctx, version: s.version}
+	s.ctxCache[key] = &cachedCtx{ctx: ctx, version: v}
 	return ctx, nil
 }
 
 // CtxCacheHits reports how many queries reused a cached path-pattern
-// context (and its warmed multiple-source index).
+// context (and its warmed multiple-source index) at the exact same
+// version. Warm starts across versions are not counted.
 func (s *GraphStore) CtxCacheHits() int {
 	s.ctxMu.Lock()
 	defer s.ctxMu.Unlock()
 	return s.ctxHits
 }
 
-// Graph exposes the underlying labeled graph.
-func (s *GraphStore) Graph() *graph.Graph { return s.g }
+// Graph exposes the current version's graph. Read-only once the store
+// is serving queries: direct mutation bypasses versioning (copy-on-write
+// keeps older snapshots intact, but cached contexts and query results
+// keyed by version would go stale). Mutating it is safe only while
+// seeding a store that nothing has queried yet.
+func (s *GraphStore) Graph() *graph.Graph { return s.st.Pin().Graph() }
 
-// PropEquals implements plan.PropStore.
+// PropEquals implements plan.PropStore against the current version.
 func (s *GraphStore) PropEquals(v int, key string, val cypher.Value) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.props[v]
-	if !ok {
-		return false
-	}
-	have, ok := p[key]
-	if !ok {
-		return false
-	}
-	return have == val
+	return s.st.Pin().PropEquals(v, key, val)
 }
 
-// SetProp sets a node property.
+// SetProp sets a node property, publishing a new version.
 func (s *GraphStore) SetProp(v int, key string, val cypher.Value) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p := s.props[v]
-	if p == nil {
-		p = map[string]cypher.Value{}
-		s.props[v] = p
-	}
-	p[key] = val
+	_, _ = s.st.Update(func(tx *store.Tx) error {
+		tx.SetProp(v, key, val)
+		return nil
+	})
 }
 
 // QueryResult is the outcome of one statement.
@@ -156,9 +194,13 @@ type QueryResult struct {
 // existing graph with that name.
 func (db *DB) AddGraph(name string, g *graph.Graph) *GraphStore {
 	db.mu.Lock()
-	defer db.mu.Unlock()
+	old := db.graphs[name]
 	s := NewGraphStore(g)
 	db.graphs[name] = s
+	db.mu.Unlock()
+	if old != nil {
+		db.cache.DropStore(old.StoreID())
+	}
 	return s
 }
 
@@ -189,17 +231,20 @@ func (db *DB) Delete(name string) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	var existed bool
+	var old *GraphStore
 	err := db.commit(journalOp{op: opDelete, name: name}, func() {
 		db.mu.Lock()
-		_, existed = db.graphs[name]
+		old = db.graphs[name]
 		delete(db.graphs, name)
 		db.mu.Unlock()
 	})
 	if err != nil {
 		return false, err
 	}
-	return existed, nil
+	if old != nil {
+		db.cache.DropStore(old.StoreID())
+	}
+	return old != nil, nil
 }
 
 // List returns the sorted graph names.
@@ -235,9 +280,8 @@ func (db *DB) Explain(name, src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	env := plan.NewEnv(s.g, nil, s)
+	snap := s.Snapshot()
+	env := plan.NewEnv(snap.Graph(), nil, snap)
 	p, err := plan.Build(q, env)
 	if err != nil {
 		return "", err
@@ -252,9 +296,8 @@ func (db *DB) Stats(name string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := s.g.Stats()
+	g := s.Snapshot().Graph()
+	st := g.Stats()
 	out := []string{
 		fmt.Sprintf("Vertices: %d", st.Vertices),
 		fmt.Sprintf("Edges: %d", st.Edges),
@@ -267,8 +310,8 @@ func (db *DB) Stats(name string) ([]string, error) {
 	for _, l := range labels {
 		out = append(out, fmt.Sprintf("Label %s: %d", l, st.ByLabel[l]))
 	}
-	for _, l := range s.g.VertexLabels() {
-		out = append(out, fmt.Sprintf("Vertex label %s: %d", l, s.g.VertexSet(l).NVals()))
+	for _, l := range g.VertexLabels() {
+		out = append(out, fmt.Sprintf("Vertex label %s: %d", l, g.VertexSet(l).NVals()))
 	}
 	return out, nil
 }
@@ -287,9 +330,8 @@ func (db *DB) Profile(name, src string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	env := plan.NewEnv(s.g, nil, s)
+	snap := s.Snapshot()
+	env := plan.NewEnv(snap.Graph(), nil, snap)
 	p, err := plan.Build(q, env)
 	if err != nil {
 		return nil, err
@@ -301,16 +343,23 @@ func (db *DB) Profile(name, src string) ([]string, error) {
 	return plan.RenderProfile(entries), nil
 }
 
+// runMatch pins the current version and evaluates against it.
 func (s *GraphStore) runMatch(q *cypher.Query, run *exec.Run) (*QueryResult, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	return s.runMatchSnap(s.st.Pin(), q, run)
+}
+
+// runMatchSnap evaluates a MATCH query against a pinned snapshot. No
+// lock is held: concurrent writes publish newer versions without
+// affecting this evaluation, and the result is exactly the answer for
+// the snapshot's version.
+func (s *GraphStore) runMatchSnap(snap *store.Snapshot, q *cypher.Query, run *exec.Run) (*QueryResult, error) {
 	planSpan := run.StartSpan("plan")
-	ctx, err := s.pathCtxForLocked(q)
+	ctx, err := s.pathCtxFor(snap, q)
 	if err != nil {
 		planSpan.End()
 		return nil, err
 	}
-	env := plan.NewEnv(s.g, nil, s)
+	env := plan.NewEnv(snap.Graph(), nil, snap)
 	p, err := plan.BuildWithCtx(q, env, ctx)
 	planSpan.End()
 	if err != nil {
@@ -334,65 +383,60 @@ func (db *DB) runCreate(name string, q *cypher.Query) (*QueryResult, error) {
 	}
 	db.mu.Unlock()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.version++ // writes invalidate cached path-pattern contexts
 	res := &QueryResult{}
-	bound := map[string]int{}
-	newNode := func(n cypher.NodePattern) (int, error) {
-		if n.Var != "" {
-			if v, ok := bound[n.Var]; ok {
-				return v, nil
+	_, err := s.st.Update(func(tx *store.Tx) error {
+		g := tx.Graph()
+		bound := map[string]int{}
+		newNode := func(n cypher.NodePattern) int {
+			if n.Var != "" {
+				if v, ok := bound[n.Var]; ok {
+					return v
+				}
+			}
+			v := g.NumVertices()
+			// Materialize the vertex even when it has no labels.
+			if len(n.Labels) == 0 {
+				g.AddVertexLabel(v, "_node")
+			}
+			for _, l := range n.Labels {
+				g.AddVertexLabel(v, l)
+			}
+			for _, p := range n.Props {
+				tx.SetProp(v, p.Key, p.Val)
+			}
+			if n.Var != "" {
+				bound[n.Var] = v
+			}
+			res.NodesCreated++
+			return v
+		}
+		for _, pat := range q.Create.Patterns {
+			ids := make([]int, len(pat.Nodes))
+			for i, n := range pat.Nodes {
+				ids[i] = newNode(n)
+			}
+			for i, conn := range pat.Connections {
+				rel, ok := conn.(cypher.RelPattern)
+				if !ok {
+					return fmt.Errorf("gdb: CREATE supports only relationship patterns")
+				}
+				if len(rel.Types) != 1 {
+					return fmt.Errorf("gdb: CREATE relationships need exactly one type")
+				}
+				src, dst := ids[i], ids[i+1]
+				if rel.Inverse {
+					src, dst = dst, src
+				}
+				g.AddEdge(src, rel.Types[0], dst)
+				res.EdgesCreated++
 			}
 		}
-		v := s.g.NumVertices()
-		// Materialize the vertex even when it has no labels.
-		if len(n.Labels) == 0 {
-			s.g.AddVertexLabel(v, "_node")
-		}
-		for _, l := range n.Labels {
-			s.g.AddVertexLabel(v, l)
-		}
-		for _, p := range n.Props {
-			//lint:ignore lockguard newNode only runs synchronously below, under the s.mu.Lock taken by runCreate
-			pm := s.props[v]
-			if pm == nil {
-				pm = map[string]cypher.Value{}
-				//lint:ignore lockguard same critical section as the read above
-				s.props[v] = pm
-			}
-			pm[p.Key] = p.Val
-		}
-		if n.Var != "" {
-			bound[n.Var] = v
-		}
-		res.NodesCreated++
-		return v, nil
-	}
-	for _, pat := range q.Create.Patterns {
-		ids := make([]int, len(pat.Nodes))
-		for i, n := range pat.Nodes {
-			v, err := newNode(n)
-			if err != nil {
-				return nil, err
-			}
-			ids[i] = v
-		}
-		for i, conn := range pat.Connections {
-			rel, ok := conn.(cypher.RelPattern)
-			if !ok {
-				return nil, fmt.Errorf("gdb: CREATE supports only relationship patterns")
-			}
-			if len(rel.Types) != 1 {
-				return nil, fmt.Errorf("gdb: CREATE relationships need exactly one type")
-			}
-			src, dst := ids[i], ids[i+1]
-			if rel.Inverse {
-				src, dst = dst, src
-			}
-			s.g.AddEdge(src, rel.Types[0], dst)
-			res.EdgesCreated++
-		}
+		return nil
+	})
+	// The version is published even on error (journal-replay partial
+	// state); the statement itself still fails.
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

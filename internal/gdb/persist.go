@@ -10,6 +10,7 @@ import (
 
 	"mscfpq/internal/cypher"
 	"mscfpq/internal/graph"
+	"mscfpq/internal/store"
 )
 
 // Graph stores serialize as the textual graph format (internal/graph)
@@ -20,17 +21,18 @@ import (
 //
 // The server exposes this as GRAPH.DUMP / GRAPH.RESTORE.
 
-// WriteStore serializes a graph store.
+// WriteStore serializes a graph store. It pins one snapshot, so the
+// dump is a consistent version even while writes proceed.
 func WriteStore(w io.Writer, s *GraphStore) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	snap := s.Snapshot()
+	g := snap.Graph()
 	bw := bufio.NewWriter(w)
-	if err := graph.Write(bw, s.g); err != nil {
+	if err := graph.Write(bw, g); err != nil {
 		return err
 	}
-	for v := 0; v < s.g.NumVertices(); v++ {
-		props, ok := s.props[v]
-		if !ok {
+	for v := 0; v < g.NumVertices(); v++ {
+		props := snap.Props(v)
+		if len(props) == 0 {
 			continue
 		}
 		// Deterministic order for reproducible dumps.
@@ -74,31 +76,40 @@ func ReadStore(r io.Reader) (*GraphStore, error) {
 		return nil, err
 	}
 	s := NewGraphStore(g)
-	for _, line := range propLines {
-		fields := strings.SplitN(line, " ", 5)
-		if len(fields) != 5 {
-			return nil, fmt.Errorf("gdb: bad prop line %q", line)
-		}
-		v, err := strconv.Atoi(fields[1])
-		if err != nil || v < 0 || v >= g.NumVertices() {
-			return nil, fmt.Errorf("gdb: bad prop vertex %q", fields[1])
-		}
-		key := fields[2]
-		switch fields[3] {
-		case "i":
-			n, err := strconv.ParseInt(fields[4], 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("gdb: bad int prop %q", fields[4])
+	if len(propLines) > 0 {
+		// One versioned update for the whole property block: the
+		// restored store lands at version 1, not one version per line.
+		if _, err := s.st.Update(func(tx *store.Tx) error {
+			for _, line := range propLines {
+				fields := strings.SplitN(line, " ", 5)
+				if len(fields) != 5 {
+					return fmt.Errorf("gdb: bad prop line %q", line)
+				}
+				v, err := strconv.Atoi(fields[1])
+				if err != nil || v < 0 || v >= g.NumVertices() {
+					return fmt.Errorf("gdb: bad prop vertex %q", fields[1])
+				}
+				key := fields[2]
+				switch fields[3] {
+				case "i":
+					n, err := strconv.ParseInt(fields[4], 10, 64)
+					if err != nil {
+						return fmt.Errorf("gdb: bad int prop %q", fields[4])
+					}
+					tx.SetProp(v, key, cypher.Value{Int: n, IsInt: true})
+				case "s":
+					str, err := strconv.Unquote(fields[4])
+					if err != nil {
+						return fmt.Errorf("gdb: bad string prop %q", fields[4])
+					}
+					tx.SetProp(v, key, cypher.Value{Str: str})
+				default:
+					return fmt.Errorf("gdb: unknown prop kind %q", fields[3])
+				}
 			}
-			s.SetProp(v, key, cypher.Value{Int: n, IsInt: true})
-		case "s":
-			str, err := strconv.Unquote(fields[4])
-			if err != nil {
-				return nil, fmt.Errorf("gdb: bad string prop %q", fields[4])
-			}
-			s.SetProp(v, key, cypher.Value{Str: str})
-		default:
-			return nil, fmt.Errorf("gdb: unknown prop kind %q", fields[3])
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 	}
 	return s, nil
@@ -125,9 +136,20 @@ func (db *DB) Restore(name, dump string) error {
 	if err != nil {
 		return err
 	}
-	return db.commit(journalOp{op: opRestore, name: name, arg: dump}, func() {
+	var old *GraphStore
+	err = db.commit(journalOp{op: opRestore, name: name, arg: dump}, func() {
 		db.mu.Lock()
+		old = db.graphs[name]
 		db.graphs[name] = s
 		db.mu.Unlock()
 	})
+	if err != nil {
+		return err
+	}
+	// The replaced incarnation's cached results can never be keyed as
+	// the new store's (fresh store id), but drop them to free budget.
+	if old != nil {
+		db.cache.DropStore(old.StoreID())
+	}
+	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"mscfpq/internal/cypher"
 	"mscfpq/internal/exec"
 	"mscfpq/internal/obs"
+	"mscfpq/internal/store"
 )
 
 // Policy is the server-side query governance configuration: limits
@@ -34,6 +35,15 @@ type Policy struct {
 	// (Open): a snapshot is cut and the journal rotated this often.
 	// 0 disables auto-saving; explicit Save/GRAPH.SAVE still works.
 	SaveInterval time.Duration
+	// CacheMaxBytes is the byte budget of the version-keyed query
+	// result cache (DESIGN.md §11): results are keyed by (store
+	// incarnation, graph version, query text), so a write to a graph
+	// automatically invalidates its cached results — older-version
+	// entries can never serve a newer version. 0 disables caching.
+	CacheMaxBytes int64
+	// CacheTTL additionally expires cached results by age; 0 keeps
+	// entries until evicted or invalidated.
+	CacheTTL time.Duration
 	// Log receives structured slow-query and aborted-query lines; nil
 	// disables logging.
 	Log *log.Logger
@@ -44,6 +54,7 @@ func (db *DB) SetPolicy(p Policy) {
 	db.polMu.Lock()
 	db.policy = p
 	db.polMu.Unlock()
+	db.cache.Configure(p.CacheMaxBytes, p.CacheTTL)
 	db.kickAutoSaver()
 }
 
@@ -103,13 +114,51 @@ func (db *DB) QueryContext(ctx context.Context, name, src string) (*QueryResult,
 		trace = obs.NewTrace("query")
 		trace.AddSpan("parse", parseDur)
 	}
+
+	// Pin ONE snapshot for both the cache key and the evaluation: the
+	// result is exactly the answer for this version even if writes
+	// publish newer versions mid-flight, and a result cached under the
+	// key can never be served for any other version.
+	snap := s.Snapshot()
+	var rkey store.Key
+	if db.cache.Enabled() {
+		rkey = store.ResultKey(snap.StoreID(), snap.Version(), src)
+		lookupStart := time.Now()
+		v, hit := db.cache.Get(rkey)
+		if trace != nil {
+			label := "cache.miss"
+			if hit {
+				label = "cache.hit"
+			}
+			trace.AddSpan(label, time.Since(lookupStart))
+		}
+		if hit {
+			cached := v.(*QueryResult)
+			res := &QueryResult{Columns: cached.Columns, Rows: cached.Rows}
+			obs.GdbQueries.Inc()
+			obs.GdbQueryLatencyUS.Observe(time.Since(parseStart).Microseconds())
+			if trace != nil {
+				trace.Close()
+				res.Profile = trace.Render()
+			}
+			return res, nil
+		}
+	}
+
 	run, cancel := exec.Options{Ctx: ctx, Timeout: timeout, Budget: pol.MaxWork, Trace: trace}.Start()
 	defer cancel()
 
 	start := time.Now()
-	res, err := s.runMatch(q, run)
+	res, err := s.runMatchSnap(snap, q, run)
 	elapsed := time.Since(start)
 	trace.Close()
+
+	if err == nil && rkey != "" {
+		// Cache a trimmed copy (columns and rows only — never the
+		// profile) so later hits share immutable data.
+		entry := &QueryResult{Columns: res.Columns, Rows: res.Rows}
+		db.cache.Put(rkey, entry, resultBytes(entry, rkey), snap.StoreID(), snap.Version())
+	}
 
 	obs.GdbQueries.Inc()
 	obs.GdbQueryLatencyUS.Observe(elapsed.Microseconds())
@@ -143,4 +192,17 @@ func (db *DB) QueryContext(ctx context.Context, name, src string) (*QueryResult,
 		res.Profile = trace.Render()
 	}
 	return res, nil
+}
+
+// resultBytes estimates a cached result's memory footprint for the
+// cache's byte budget.
+func resultBytes(r *QueryResult, key store.Key) int64 {
+	b := int64(len(key)) + 96
+	for _, c := range r.Columns {
+		b += int64(len(c)) + 16
+	}
+	for _, row := range r.Rows {
+		b += int64(len(row))*8 + 24
+	}
+	return b
 }

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"testing"
+)
+
+// edgeSet flattens a graph's labeled edges for comparison.
+func edgeSet(g *Graph) map[[2]int]string {
+	out := map[[2]int]string{}
+	g.Edges(func(src int, label string, dst int) bool {
+		out[[2]int{src, dst}] = out[[2]int{src, dst}] + label + ";"
+		return true
+	})
+	return out
+}
+
+func sameEdges(a, b map[[2]int]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGraphCowCloneIsolation: mutating a COW clone (the next version)
+// must leave the original (the pinned snapshot) untouched, including
+// when the clone grows the vertex set, and vice versa.
+func TestGraphCowCloneIsolation(t *testing.T) {
+	g := New(0)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "b", 0)
+	g.AddVertexLabel(0, "Person")
+
+	want := edgeSet(g)
+	c := g.CowClone()
+	if !sameEdges(edgeSet(c), want) {
+		t.Fatalf("fresh clone differs from original")
+	}
+
+	// Mutate the clone: existing label, new label, growth, vertex label.
+	c.AddEdge(0, "a", 2)
+	c.AddEdge(2, "c", 1)
+	c.AddEdge(5, "a", 0) // grows to 6 vertices
+	c.AddVertexLabel(3, "Person")
+
+	if !sameEdges(edgeSet(g), want) {
+		t.Fatalf("clone mutation leaked into original:\n got %v\nwant %v", edgeSet(g), want)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("original grew to %d vertices", g.NumVertices())
+	}
+	if g.HasVertexLabel(3, "Person") {
+		t.Fatalf("clone vertex label leaked into original")
+	}
+	if c.NumVertices() != 6 || !c.HasEdge(5, "a", 0) || !c.HasEdge(0, "a", 1) {
+		t.Fatalf("clone lost its own or inherited edges")
+	}
+
+	// And the other direction.
+	cwant := edgeSet(c)
+	g.AddEdge(1, "b", 1)
+	if !sameEdges(edgeSet(c), cwant) {
+		t.Fatalf("original mutation leaked into clone")
+	}
+
+	// Inverse-label reads on the snapshot must reflect only its edges.
+	if got := g.EdgeMatrix("a_r").NVals(); got != 2 {
+		t.Fatalf("snapshot transpose has %d entries, want 2", got)
+	}
+	if got := c.EdgeMatrix("a_r").NVals(); got != 4 {
+		t.Fatalf("clone transpose has %d entries, want 4", got)
+	}
+}
+
+// TestGraphCowCloneChain walks several versions, asserting each
+// retained snapshot keeps its exact edge count (the no-torn-read
+// invariant the store's stress suite relies on).
+func TestGraphCowCloneChain(t *testing.T) {
+	cur := New(2)
+	cur.AddEdge(0, "x", 1)
+	type version struct {
+		g     *Graph
+		edges map[[2]int]string
+		n     int
+	}
+	var history []version
+	for v := 0; v < 12; v++ {
+		history = append(history, version{cur, edgeSet(cur), cur.NumVertices()})
+		next := cur.CowClone()
+		next.AddEdge(v, "x", v+1)
+		next.AddEdge(v+1, "y", 0)
+		cur = next
+	}
+	for i, h := range history {
+		if !sameEdges(edgeSet(h.g), h.edges) {
+			t.Fatalf("version %d edges changed", i)
+		}
+		if h.g.NumVertices() != h.n {
+			t.Fatalf("version %d vertex count changed", i)
+		}
+	}
+}

@@ -77,6 +77,30 @@ func (g *Graph) grow(v int) {
 	g.tmu.Unlock()
 }
 
+// CowClone returns a copy-on-write clone for epoch-versioned
+// snapshotting (internal/store): edge matrices share rows with the
+// original until either side mutates them, vertex-label vectors (tiny)
+// are deep-copied, and the transpose cache starts empty. Mutating the
+// clone — including growing it — never changes the original, and vice
+// versa; cloning an immutable snapshot therefore yields a mutable next
+// version at O(labels + vertices) cost instead of O(edges).
+func (g *Graph) CowClone() *Graph {
+	c := &Graph{
+		n:          g.n,
+		edges:      make(map[string]*matrix.Bool, len(g.edges)),
+		vlabels:    make(map[string]*matrix.Vector, len(g.vlabels)),
+		nedges:     g.nedges,
+		transposed: map[string]*matrix.Bool{},
+	}
+	for l, m := range g.edges {
+		c.edges[l] = m.CloneCOW()
+	}
+	for l, vec := range g.vlabels {
+		c.vlabels[l] = vec.Clone()
+	}
+	return c
+}
+
 // AddEdge adds a directed edge src -> dst with the given label. Adding
 // an edge with an inverse label ("x_r") is rejected: inverse matrices
 // are derived, not stored.

@@ -14,6 +14,13 @@ type Bool struct {
 	nrows, ncols int
 	rows         [][]uint32
 	nvals        int
+
+	// shared marks rows whose backing arrays may be aliased by a
+	// copy-on-write sibling (CloneCOW). A shared row must be copied
+	// before any in-place mutation; rows replaced wholesale (SetRow,
+	// AddInPlace, ...) shed the mark with the old pointer. nil when the
+	// matrix never took part in a COW clone.
+	shared []bool
 }
 
 // NewBool returns an empty nrows x ncols Boolean matrix.
@@ -62,9 +69,47 @@ func (m *Bool) checkIndex(i, j int) {
 	}
 }
 
+// ensureOwned copies row i when its backing array may be shared with a
+// COW sibling, so in-place mutation cannot corrupt the other matrix.
+func (m *Bool) ensureOwned(i int) {
+	if m.shared != nil && m.shared[i] {
+		m.rows[i] = append([]uint32(nil), m.rows[i]...)
+		m.shared[i] = false
+	}
+}
+
+// markOwned records that row i was replaced with a freshly allocated
+// slice and no longer aliases a COW sibling.
+func (m *Bool) markOwned(i int) {
+	if m.shared != nil {
+		m.shared[i] = false
+	}
+}
+
+// CloneCOW returns a copy-on-write clone: the clone shares every row's
+// backing array with m until either side mutates that row. Both
+// matrices mark the rows shared, so in-place mutation on either side
+// copies first and the other side observes no change.
+func (m *Bool) CloneCOW() *Bool {
+	c := &Bool{nrows: m.nrows, ncols: m.ncols, nvals: m.nvals,
+		rows: make([][]uint32, m.nrows), shared: make([]bool, m.nrows)}
+	copy(c.rows, m.rows)
+	if m.shared == nil {
+		m.shared = make([]bool, m.nrows)
+	}
+	for i, row := range m.rows {
+		if len(row) > 0 {
+			c.shared[i] = true
+			m.shared[i] = true
+		}
+	}
+	return c
+}
+
 // Set makes entry (i, j) true.
 func (m *Bool) Set(i, j int) {
 	m.checkIndex(i, j)
+	m.ensureOwned(i)
 	row := m.rows[i]
 	c := uint32(j)
 	k := sort.Search(len(row), func(x int) bool { return row[x] >= c })
@@ -81,6 +126,7 @@ func (m *Bool) Set(i, j int) {
 // Unset makes entry (i, j) false.
 func (m *Bool) Unset(i, j int) {
 	m.checkIndex(i, j)
+	m.ensureOwned(i)
 	row := m.rows[i]
 	c := uint32(j)
 	k := sort.Search(len(row), func(x int) bool { return row[x] >= c })
@@ -125,6 +171,7 @@ func (m *Bool) SetRow(i int, cols []uint32) {
 	}
 	m.nvals += len(cols) - len(m.rows[i])
 	m.rows[i] = cols
+	m.markOwned(i)
 }
 
 // Clone returns a deep copy of the matrix.
@@ -186,6 +233,7 @@ func (m *Bool) Iterate(fn func(i, j int) bool) {
 func (m *Bool) Clear() {
 	for i := range m.rows {
 		m.rows[i] = nil
+		m.markOwned(i)
 	}
 	m.nvals = 0
 }
@@ -200,6 +248,11 @@ func (m *Bool) Resize(nrows, ncols int) {
 		grown := make([][]uint32, nrows)
 		copy(grown, m.rows)
 		m.rows = grown
+		if m.shared != nil {
+			gs := make([]bool, nrows)
+			copy(gs, m.shared)
+			m.shared = gs
+		}
 		m.nrows = nrows
 	}
 	m.ncols = ncols
@@ -231,6 +284,9 @@ func (m *Bool) String() string {
 
 // validate checks internal invariants; used by tests.
 func (m *Bool) validate() error {
+	if m.shared != nil && len(m.shared) != m.nrows {
+		return fmt.Errorf("shared bitmap length %d does not match %d rows", len(m.shared), m.nrows)
+	}
 	n := 0
 	for i, row := range m.rows {
 		for k, c := range row {

@@ -118,6 +118,7 @@ func AddInPlace(a, b *Bool) bool {
 		ra := a.rows[i]
 		if len(ra) == 0 {
 			a.rows[i] = append([]uint32(nil), rb...)
+			a.markOwned(i)
 			a.nvals += len(rb)
 			changed = true
 			continue
@@ -128,6 +129,7 @@ func AddInPlace(a, b *Bool) bool {
 		row := unionRows(ra, rb)
 		a.nvals += len(row) - len(ra)
 		a.rows[i] = row
+		a.markOwned(i)
 		changed = true
 	}
 	return changed
@@ -158,6 +160,7 @@ func SubInPlace(a, b *Bool) bool {
 		if len(row) != len(ra) {
 			a.nvals += len(row) - len(ra)
 			a.rows[i] = row
+			a.markOwned(i)
 			changed = true
 		}
 	}

@@ -3,7 +3,7 @@ package obs
 // The instrument catalog (DESIGN.md §10). Naming convention:
 // <layer>.<subject>.<unit-ish suffix>; the INFO command groups by the
 // first dotted component (kernel → kernels section, gdb → gdb,
-// dur → durability, resp/governor → server).
+// dur → durability, cache → cache, resp/governor → server).
 //
 // Trace span counters reuse these names verbatim, so a PROFILE span
 // tree's counter totals are directly comparable against a registry
@@ -40,6 +40,14 @@ var (
 	DurJournalAppends = Default.Counter("dur.journal.appends")
 	DurRotations      = Default.Counter("dur.rotations")
 	DurFsyncLatencyUS = Default.Histogram("dur.fsync.latency_us", LatencyBuckets)
+
+	// Version-keyed query cache (internal/store).
+	CacheHits          = Default.Counter("cache.hits")
+	CacheMisses        = Default.Counter("cache.misses")
+	CacheEvictions     = Default.Counter("cache.evictions")
+	CacheInvalidations = Default.Counter("cache.invalidations")
+	CacheBytes         = Default.Gauge("cache.bytes")
+	CacheEntries       = Default.Gauge("cache.entries")
 
 	// RESP serving surface.
 	RespConnsTotal   = Default.Counter("resp.conns.total")

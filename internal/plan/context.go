@@ -71,6 +71,28 @@ func NewPathCtx(g *graph.Graph, pats []cypher.NamedPathPattern) (*PathCtx, error
 	return ctx, nil
 }
 
+// WarmSuccessor builds the context for a NEWER snapshot of the same
+// logical graph, reusing this context's compiled expressions and
+// grammar and seeding the new multiple-source index from the
+// accumulated relations (cfpq.NewIndexWarm). Sound only when g grew
+// out of ctx's graph by edge/vertex additions — exactly the write
+// path's guarantee, which the version-keyed context cache in gdb
+// enforces by only warm-starting along a store's version lineage.
+// Contexts without an index (no declarations) warm to a fresh empty
+// context.
+func (ctx *PathCtx) WarmSuccessor(g *graph.Graph) (*PathCtx, error) {
+	next := &PathCtx{g: g, exprs: ctx.exprs, wcnf: ctx.wcnf, pending: map[string]*matrix.Vector{}}
+	if ctx.idx == nil {
+		return next, nil
+	}
+	idx, err := cfpq.NewIndexWarm(g, ctx.wcnf, ctx.idx)
+	if err != nil {
+		return nil, err
+	}
+	next.idx = idx
+	return next, nil
+}
+
 // CtxKey returns the canonical identity of a PATH PATTERN declaration
 // set: reuse a PathCtx (and its warmed index) only for queries whose
 // key matches and whose graph is unchanged.

@@ -511,7 +511,7 @@ func (s *Server) execute(args []string) (reply Value, quit bool) {
 }
 
 // infoSectionNames lists the INFO sections in reply order.
-var infoSectionNames = []string{"server", "gdb", "kernels", "durability"}
+var infoSectionNames = []string{"server", "gdb", "cache", "kernels", "durability"}
 
 // infoSection maps an instrument name to its INFO section by the first
 // dotted component. Anything outside the known layers (resp.*,
@@ -523,6 +523,8 @@ func infoSection(key string) string {
 		return "kernels"
 	case "gdb":
 		return "gdb"
+	case "cache":
+		return "cache"
 	case "dur":
 		return "durability"
 	}

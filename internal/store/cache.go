@@ -1,0 +1,242 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"mscfpq/internal/cfpq"
+	"mscfpq/internal/exec"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+	"mscfpq/internal/obs"
+)
+
+// entry is one cached value plus the bookkeeping eviction and
+// invalidation need.
+type entry struct {
+	key     Key
+	val     any
+	bytes   int64
+	storeID uint64
+	version uint64
+	expires time.Time // zero when the cache has no TTL
+}
+
+// Cache is the version-keyed query cache: an LRU under a configurable
+// byte budget with optional TTL. Entries are keyed by Key (EvalKey /
+// ResultKey), which embeds the graph version — a version bump makes
+// new lookups miss immediately, and Put sweeps the displaced older
+// versions of the same store so their bytes are reclaimed without any
+// explicit invalidation call (retention: only the newest seen version
+// per store is kept). Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64                 // guarded by mu: <= 0 disables the cache
+	ttl      time.Duration         // guarded by mu: 0 means entries never expire
+	ll       *list.List            // guarded by mu: LRU order, front = most recent
+	items    map[Key]*list.Element // guarded by mu
+	bytes    int64                 // guarded by mu: sum of entry sizes
+	newest   map[uint64]uint64     // guarded by mu: newest version seen per store
+
+	hits, misses, evictions, invalidations uint64 // guarded by mu
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits, Misses, Evictions, Invalidations uint64
+	Entries                                int
+	Bytes                                  int64
+}
+
+// NewCache returns a cache bounded by maxBytes (<= 0 disables it) with
+// per-entry TTL ttl (0 = no expiry).
+func NewCache(maxBytes int64, ttl time.Duration) *Cache {
+	c := &Cache{ll: list.New(), items: map[Key]*list.Element{}, newest: map[uint64]uint64{}}
+	c.Configure(maxBytes, ttl)
+	return c
+}
+
+// Configure replaces the byte budget and TTL, evicting (or purging,
+// when disabled) to fit.
+func (c *Cache) Configure(maxBytes int64, ttl time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes, c.ttl = maxBytes, ttl
+	if maxBytes <= 0 {
+		c.purgeLocked()
+		return
+	}
+	c.evictToFitLocked()
+	c.publishGaugesLocked()
+}
+
+// Enabled reports whether the cache currently stores anything.
+func (c *Cache) Enabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxBytes > 0
+}
+
+// Get returns the cached value for key, updating LRU order. Expired
+// entries are dropped and count as misses. The returned value is
+// shared — callers must treat it as immutable.
+func (c *Cache) Get(key Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		if e.expires.IsZero() || time.Now().Before(e.expires) {
+			c.ll.MoveToFront(el)
+			c.hits++
+			obs.CacheHits.Inc()
+			return e.val, true
+		}
+		c.removeLocked(el)
+		c.evictions++
+		obs.CacheEvictions.Inc()
+		c.publishGaugesLocked()
+	}
+	c.misses++
+	obs.CacheMisses.Inc()
+	return nil, false
+}
+
+// Put stores val under key, charging bytes against the budget. The
+// (storeID, version) pair drives retention: when version advances past
+// the newest this cache has seen for storeID, every entry of an older
+// version of that store is invalidated (they can never be looked up
+// again — keys embed the version). Values too large for the whole
+// budget are not stored.
+func (c *Cache) Put(key Key, val any, bytes int64, storeID, version uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxBytes <= 0 || bytes > c.maxBytes {
+		return
+	}
+	if version > c.newest[storeID] {
+		c.newest[storeID] = version
+		c.invalidateBelowLocked(storeID, version)
+	}
+	var expires time.Time
+	if c.ttl > 0 {
+		expires = time.Now().Add(c.ttl)
+	}
+	if el, ok := c.items[key]; ok {
+		c.removeLocked(el)
+	}
+	e := &entry{key: key, val: val, bytes: bytes, storeID: storeID, version: version, expires: expires}
+	c.items[key] = c.ll.PushFront(e)
+	c.bytes += bytes
+	c.evictToFitLocked()
+	c.publishGaugesLocked()
+}
+
+// DropStore invalidates every entry of a store incarnation; the gdb
+// layer calls it when GRAPH.DELETE or GRAPH.RESTORE retires the store
+// object (its keys would otherwise linger until LRU eviction).
+func (c *Cache) DropStore(storeID uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invalidateBelowLocked(storeID, ^uint64(0))
+	delete(c.newest, storeID)
+	c.publishGaugesLocked()
+}
+
+// Stats returns the counter snapshot.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Invalidations: c.invalidations, Entries: len(c.items), Bytes: c.bytes,
+	}
+}
+
+// invalidateBelowLocked drops entries of storeID with version < below.
+func (c *Cache) invalidateBelowLocked(storeID, below uint64) {
+	var stale []*list.Element
+	for _, el := range c.items {
+		e := el.Value.(*entry)
+		if e.storeID == storeID && e.version < below {
+			//lint:ignore detrange stale feeds only map deletes and counter increments, which are order-independent
+			stale = append(stale, el)
+		}
+	}
+	for _, el := range stale {
+		c.removeLocked(el)
+		c.invalidations++
+		obs.CacheInvalidations.Inc()
+	}
+}
+
+// evictToFitLocked drops least-recently-used entries until the budget
+// holds.
+func (c *Cache) evictToFitLocked() {
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			return
+		}
+		c.removeLocked(back)
+		c.evictions++
+		obs.CacheEvictions.Inc()
+	}
+}
+
+func (c *Cache) purgeLocked() {
+	c.ll.Init()
+	c.items = map[Key]*list.Element{}
+	c.bytes = 0
+	c.publishGaugesLocked()
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.bytes
+}
+
+func (c *Cache) publishGaugesLocked() {
+	obs.CacheBytes.Set(c.bytes)
+	obs.CacheEntries.Set(int64(len(c.items)))
+}
+
+// PairsBytes estimates the cache charge of an answer pair set.
+func PairsBytes(pairs [][2]int, key Key) int64 {
+	return int64(len(pairs))*16 + int64(len(key)) + 64
+}
+
+// CachedEval answers a CFPQ evaluation through the cache: on a hit the
+// previously computed pair set is returned (shared — treat as
+// read-only); on a miss cfpq.Eval runs against g and the sorted answer
+// pairs are stored under the canonical EvalKey for (storeID, version).
+// The boolean reports whether the answer came from the cache. g must
+// be the immutable graph of the (storeID, version) snapshot the caller
+// pinned — the key, not the caller, is what guarantees cached and
+// uncached results are byte-identical.
+func CachedEval(c *Cache, storeID, version uint64, g *graph.Graph, w *grammar.WCNF, src *matrix.Vector, opts ...cfpq.Option) ([][2]int, bool, error) {
+	alg := exec.Build(opts).Algorithm
+	if alg == exec.AlgAuto {
+		// Resolve exactly as cfpq.Eval does, so AlgAuto and its resolved
+		// algorithm share one entry.
+		if src != nil {
+			alg = exec.AlgMultiSource
+		} else {
+			alg = exec.AlgMatrix
+		}
+	}
+	key := EvalKey(storeID, version, w, src, alg)
+	if v, ok := c.Get(key); ok {
+		return v.([][2]int), true, nil
+	}
+	res, err := cfpq.Eval(g, w, src, opts...)
+	if err != nil {
+		return nil, false, err
+	}
+	pairs := res.Pairs()
+	c.Put(key, pairs, PairsBytes(pairs, key), storeID, version)
+	return pairs, false, nil
+}

@@ -1,0 +1,203 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"mscfpq/internal/exec"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+	"mscfpq/internal/oracle"
+)
+
+func testGrammar(t testing.TB) *grammar.WCNF {
+	t.Helper()
+	g, err := grammar.ParseString("S -> a S b | a b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := grammar.ToWCNF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// cycleChain is the paper's figure-1 shape: an a-cycle feeding a
+// b-chain, giving a non-trivial a^n b^n answer set.
+func cycleChain() *graph.Graph {
+	g := graph.New(0)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "a", 0)
+	g.AddEdge(0, "b", 3)
+	g.AddEdge(3, "b", 0)
+	return g
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(300, 0)
+	put := func(k string, bytes int64) { c.Put(Key(k), k, bytes, 1, 1) }
+	put("a", 100)
+	put("b", 100)
+	put("c", 100)
+	if _, ok := c.Get(Key("a")); !ok {
+		t.Fatalf("a evicted too early")
+	}
+	// a is now most recent; adding d must evict b (LRU).
+	put("d", 100)
+	if _, ok := c.Get(Key("b")); ok {
+		t.Fatalf("b survived past the byte budget")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(Key(k)); !ok {
+			t.Fatalf("%s missing", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Bytes != 300 || st.Entries != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Oversized values are refused outright.
+	put("huge", 1000)
+	if _, ok := c.Get(Key("huge")); ok {
+		t.Fatalf("oversized value cached")
+	}
+}
+
+func TestCacheVersionBumpInvalidates(t *testing.T) {
+	c := NewCache(1<<20, 0)
+	c.Put(Key("v1-a"), 1, 10, 7, 1)
+	c.Put(Key("v1-b"), 2, 10, 7, 1)
+	c.Put(Key("other-store"), 3, 10, 8, 1)
+	// Version bump on store 7: its older entries are swept, store 8
+	// untouched.
+	c.Put(Key("v2-a"), 4, 10, 7, 2)
+	if _, ok := c.Get(Key("v1-a")); ok {
+		t.Fatalf("stale version survived the bump")
+	}
+	if _, ok := c.Get(Key("v1-b")); ok {
+		t.Fatalf("stale version survived the bump")
+	}
+	if _, ok := c.Get(Key("other-store")); !ok {
+		t.Fatalf("unrelated store invalidated")
+	}
+	if _, ok := c.Get(Key("v2-a")); !ok {
+		t.Fatalf("current version missing")
+	}
+	if st := c.Stats(); st.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", st.Invalidations)
+	}
+
+	c.DropStore(8)
+	if _, ok := c.Get(Key("other-store")); ok {
+		t.Fatalf("DropStore left the entry")
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := NewCache(1<<20, time.Millisecond)
+	c.Put(Key("k"), 1, 10, 1, 1)
+	time.Sleep(5 * time.Millisecond)
+	if _, ok := c.Get(Key("k")); ok {
+		t.Fatalf("entry outlived its TTL")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0, 0)
+	if c.Enabled() {
+		t.Fatalf("zero-budget cache reports enabled")
+	}
+	c.Put(Key("k"), 1, 10, 1, 1)
+	if _, ok := c.Get(Key("k")); ok {
+		t.Fatalf("disabled cache stored a value")
+	}
+	// Shrinking the budget purges.
+	c.Configure(100, 0)
+	c.Put(Key("k"), 1, 10, 1, 1)
+	c.Configure(0, 0)
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("disable did not purge: %+v", st)
+	}
+}
+
+// TestCachedEvalColdWarmInvalidate: the cached evaluation path must be
+// byte-identical to the uncached oracle answer cold (miss + compute),
+// warm (hit), and after a version bump (miss + recompute on the new
+// graph).
+func TestCachedEvalColdWarmInvalidate(t *testing.T) {
+	w := testGrammar(t)
+	g := cycleChain()
+	src := matrix.NewVectorFromIndices(g.NumVertices(), []int{0, 1})
+	want := oracle.CFPQ(g, w).StartPairsFrom(src.Ints())
+
+	c := NewCache(1<<20, 0)
+	st := New(g)
+	snap := st.Pin()
+
+	cold, hit, err := CachedEval(c, st.ID(), snap.Version(), snap.Graph(), w, src)
+	if err != nil || hit {
+		t.Fatalf("cold: hit=%v err=%v", hit, err)
+	}
+	warm, hit, err := CachedEval(c, st.ID(), snap.Version(), snap.Graph(), w, src)
+	if err != nil || !hit {
+		t.Fatalf("warm: hit=%v err=%v", hit, err)
+	}
+	assertPairs(t, "cold", cold, want)
+	assertPairs(t, "warm", warm, want)
+
+	// Bump the version with an edge to a fresh vertex, changing the
+	// answer; the old key must not serve.
+	snap2, err := st.Update(func(tx *Tx) error {
+		tx.Graph().AddEdge(1, "b", 4)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := snap2.Graph().NumVertices()
+	src2 := matrix.NewVectorFromIndices(n2, []int{0, 1})
+	want2 := oracle.CFPQ(snap2.Graph(), w).StartPairsFrom(src2.Ints())
+	post, hit, err := CachedEval(c, st.ID(), snap2.Version(), snap2.Graph(), w, src2)
+	if err != nil || hit {
+		t.Fatalf("post-invalidation: hit=%v err=%v", hit, err)
+	}
+	assertPairs(t, "post-invalidation", post, want2)
+	if len(want2) == len(want) {
+		t.Fatalf("test graph mutation did not change the answer; invalidation untested")
+	}
+
+	// Permuted, duplicated source list: same canonical key, warm hit.
+	srcPerm := matrix.NewVectorFromIndices(n2, []int{1, 0, 1, 0, 0})
+	perm, hit, err := CachedEval(c, st.ID(), snap2.Version(), snap2.Graph(), w, srcPerm)
+	if err != nil || !hit {
+		t.Fatalf("permuted sources: hit=%v err=%v", hit, err)
+	}
+	assertPairs(t, "permuted sources", perm, want2)
+
+	// A different algorithm is a different key but the same answer.
+	alg, hit, err := CachedEval(c, st.ID(), snap2.Version(), snap2.Graph(), w, src2,
+		exec.WithAlgorithm(exec.AlgWorklist))
+	if err != nil || hit {
+		t.Fatalf("algorithm variant: hit=%v err=%v", hit, err)
+	}
+	assertPairs(t, "algorithm variant", alg, want2)
+}
+
+func assertPairs(t *testing.T, label string, got, want [][2]int) {
+	t.Helper()
+	// Cached pair sets are shared and read-only; sort a copy.
+	got = append([][2]int(nil), got...)
+	oracle.SortPairs(got)
+	oracle.SortPairs(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d\n got %v\nwant %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: pair %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
