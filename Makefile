@@ -5,7 +5,7 @@ GO ?= go
 # Packages with internal concurrency (query governor, index locking,
 # server drain); `race-quick` covers just these, `race` the whole
 # module.
-RACE_PKGS = ./internal/gdb ./internal/resp ./internal/cfpq ./internal/exec ./internal/store
+RACE_PKGS = ./internal/gdb ./internal/resp ./internal/cfpq ./internal/exec ./internal/store ./internal/analysis/... ./cmd/mscfpq-lint
 
 .PHONY: check all build vet test race race-quick cover bench bench-quick bench-smoke experiments fuzz fuzz-smoke diff-test diff-test-slow chaos lint lint-tools clean
 
@@ -97,16 +97,20 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzCacheKey -fuzztime=10s ./internal/store/
 
 # Static analysis gate: formatting, the repository's own analyzers
-# (cmd/mscfpq-lint — see DESIGN.md), and, when the pinned tool is
-# installed (`make lint-tools`), a vulnerability scan. govulncheck needs
-# network access to fetch the vuln DB, so it participates only where
-# available rather than failing hermetic builds.
+# (cmd/mscfpq-lint — see DESIGN.md §12) under both tag configurations
+# (default and the nofault release build, whose file set differs) with
+# stale-suppression detection on the default pass, and, when the
+# pinned tool is installed (`make lint-tools`), a vulnerability scan.
+# govulncheck needs network access to fetch the vuln DB, so it
+# participates only where available rather than failing hermetic
+# builds.
 lint:
 	@unformatted="$$(gofmt -l . | grep -v testdata || true)"; \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt: the following files need formatting:"; echo "$$unformatted"; exit 1; \
 	fi
-	$(GO) run ./cmd/mscfpq-lint
+	$(GO) run ./cmd/mscfpq-lint -unused-suppressions
+	$(GO) run ./cmd/mscfpq-lint -tags nofault
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./... ; \
 	else \

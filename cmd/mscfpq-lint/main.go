@@ -1,28 +1,40 @@
 // Command mscfpq-lint is the repository's multichecker: it loads and
 // type-checks every package of the module from source (standard
 // library only — no x/tools dependency) and runs the custom analyzers
-// that turn this codebase's kernel, locking, and determinism
-// conventions into build failures:
+// that turn this codebase's kernel, locking, determinism, and
+// concurrency-contract conventions into build failures:
 //
-//	govloop   kernel loops must poll the execution governor they have
-//	lockguard `// guarded by <mu>` fields only touched under the lock
-//	detrange  no map-iteration-ordered output or unsorted collection
-//	errdrop   no silently dropped parse/IO errors
+//	govloop     kernel loops must poll the execution governor they have
+//	lockguard   `// guarded by <mu>` fields only touched under the lock
+//	detrange    no map-iteration-ordered output or unsorted collection
+//	errdrop     no silently dropped parse/IO errors
+//	atomicfield a field touched through sync/atomic (or `// atomic`)
+//	            is touched atomically everywhere
+//	snapfreeze  `// immutable after publish` types only mutated before
+//	            the value escapes its constructor
+//	failcover   every durability Sync/Rename/Write/Truncate reachable
+//	            behind a declared failpoint
+//	obscatalog  metric/span names resolve to the internal/obs catalog,
+//	            and the catalog carries no dead entries
 //
 // Findings may be suppressed with `//lint:ignore <analyzer> <reason>`
 // on (or directly above) the flagged line; the reason is mandatory.
+// `-unused-suppressions` reports ignore comments that no longer
+// silence anything.
 //
 // Usage:
 //
-//	mscfpq-lint [-root dir] [-run list] [-tests=false] [packages...]
+//	mscfpq-lint [-root dir] [-run list] [-tags list] [-tests=false]
+//	            [-json] [-unused-suppressions] [packages...]
 //
 // With no package arguments every package in the module is checked,
 // each analyzer restricted to its default scope; explicit
 // module-relative package arguments (e.g. internal/cfpq) override the
-// scopes. Exit status is 1 when any diagnostic is reported.
+// scopes. Exit status: 0 clean, 1 findings, 2 load/internal error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,10 +43,14 @@ import (
 	"strings"
 
 	"mscfpq/internal/analysis"
+	"mscfpq/internal/analysis/atomicfield"
 	"mscfpq/internal/analysis/detrange"
 	"mscfpq/internal/analysis/errdrop"
+	"mscfpq/internal/analysis/failcover"
 	"mscfpq/internal/analysis/govloop"
 	"mscfpq/internal/analysis/lockguard"
+	"mscfpq/internal/analysis/obscatalog"
+	"mscfpq/internal/analysis/snapfreeze"
 )
 
 // analyzers is the full suite, in reporting order.
@@ -43,6 +59,10 @@ var analyzers = []*analysis.Analyzer{
 	lockguard.Analyzer,
 	detrange.Analyzer,
 	errdrop.Analyzer,
+	atomicfield.Analyzer,
+	snapfreeze.Analyzer,
+	failcover.Analyzer,
+	obscatalog.Analyzer,
 }
 
 func main() {
@@ -54,12 +74,15 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	root := fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
 	runList := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	tags := fs.String("tags", "", "comma-separated extra build tags (e.g. nofault)")
 	tests := fs.Bool("tests", true, "also analyze _test.go files (per-analyzer filters still apply)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	unused := fs.Bool("unused-suppressions", false, "also report //lint:ignore comments that no longer suppress any finding")
 	verbose := fs.Bool("v", false, "log each package as it is analyzed")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: mscfpq-lint [flags] [module-relative packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
-			fmt.Fprintf(stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 		fmt.Fprintln(stderr, "\nFlags:")
 		fs.PrintDefaults()
@@ -81,7 +104,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			return 2
 		}
 	}
-	mod, err := analysis.LoadModule(*root)
+	mod, err := analysis.LoadModuleTags(*root, splitList(*tags))
 	if err != nil {
 		fmt.Fprintln(stderr, "mscfpq-lint:", err)
 		return 2
@@ -97,10 +120,32 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
+	var unitAnalyzers, moduleAnalyzers []*analysis.Analyzer
+	for _, a := range selected {
+		if a.RunModule != nil {
+			moduleAnalyzers = append(moduleAnalyzers, a)
+		} else {
+			unitAnalyzers = append(unitAnalyzers, a)
+		}
+	}
+
+	tracker := analysis.NewTracker()
+	// ranOn records which analyzers produced (possibly suppressed)
+	// diagnostics over which units — the baseline -unused-suppressions
+	// compares ignore comments against.
+	ranOn := map[*analysis.Unit]map[string]bool{}
+	markRan := func(u *analysis.Unit, name string) {
+		if ranOn[u] == nil {
+			ranOn[u] = map[string]bool{}
+		}
+		ranOn[u][name] = true
+	}
+
 	var diags []analysis.Diagnostic
+	var allUnits []*analysis.Unit
 	for _, rel := range dirs {
-		todo := applicable(selected, rel, explicit)
-		if len(todo) == 0 {
+		todo := applicable(unitAnalyzers, rel, explicit)
+		if len(todo) == 0 && len(moduleAnalyzers) == 0 && !*unused {
 			continue
 		}
 		if *verbose {
@@ -111,16 +156,32 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stderr, "mscfpq-lint:", err)
 			return 2
 		}
+		allUnits = append(allUnits, units...)
 		for _, u := range units {
 			for _, a := range todo {
-				ds, err := analysis.Run(a, u)
+				ds, err := analysis.RunTracked(a, u, tracker)
 				if err != nil {
 					fmt.Fprintln(stderr, "mscfpq-lint:", err)
 					return 2
 				}
 				diags = append(diags, ds...)
+				markRan(u, a.Name)
 			}
 		}
+	}
+	for _, a := range moduleAnalyzers {
+		ds, err := analysis.RunModule(a, mod, allUnits, !explicit, tracker)
+		if err != nil {
+			fmt.Fprintln(stderr, "mscfpq-lint:", err)
+			return 2
+		}
+		diags = append(diags, ds...)
+		for _, u := range allUnits {
+			markRan(u, a.Name)
+		}
+	}
+	if *unused {
+		diags = append(diags, staleSuppressions(allUnits, ranOn, tracker)...)
 	}
 
 	sort.Slice(diags, func(i, j int) bool {
@@ -133,19 +194,102 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	for _, d := range diags {
-		pos := mod.Fset().Position(d.Pos)
-		rel, err := filepath.Rel(*root, pos.Filename)
-		if err != nil {
-			rel = pos.Filename
+	if *jsonOut {
+		if err := writeJSON(stdout, mod, *root, diags); err != nil {
+			fmt.Fprintln(stderr, "mscfpq-lint:", err)
+			return 2
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
+	} else {
+		for _, d := range diags {
+			pos := mod.Fset().Position(d.Pos)
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", relPath(*root, pos.Filename), pos.Line, pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "mscfpq-lint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// staleSuppressions reports //lint:ignore comments that silenced
+// nothing: either naming an analyzer the suite does not have, or
+// covering code where their analyzer ran and found nothing.
+func staleSuppressions(units []*analysis.Unit, ranOn map[*analysis.Unit]map[string]bool, tracker *analysis.Tracker) []analysis.Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []analysis.Diagnostic
+	for _, u := range units {
+		for _, s := range analysis.UnitSuppressions(u) {
+			if tracker.Used(s.Pos) {
+				continue
+			}
+			switch {
+			case !known[s.Analyzer]:
+				out = append(out, analysis.Diagnostic{
+					Pos:      s.Pos,
+					Analyzer: "suppressions",
+					Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q — it can never suppress anything", s.Analyzer),
+				})
+			case ranOn[u][s.Analyzer]:
+				out = append(out, analysis.Diagnostic{
+					Pos:      s.Pos,
+					Analyzer: "suppressions",
+					Message:  fmt.Sprintf("stale //lint:ignore: %s reports no finding here — remove the comment", s.Analyzer),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// jsonDiag is the -json output record.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(stdout *os.File, mod *analysis.Module, root string, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		pos := mod.Fset().Position(d.Pos)
+		out = append(out, jsonDiag{
+			File:     relPath(root, pos.Filename),
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func relPath(root, filename string) string {
+	rel, err := filepath.Rel(root, filename)
+	if err != nil {
+		return filename
+	}
+	return rel
+}
+
+func splitList(list string) []string {
+	if list == "" {
+		return nil
+	}
+	var out []string
+	for _, s := range strings.Split(list, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // selectAnalyzers resolves -run.

@@ -1,0 +1,13 @@
+// Package graph is a miniature in-scope layer for the driver tests:
+// its package-path suffix puts its error returns under errdrop.
+package graph
+
+import "errors"
+
+// Load fails on empty input.
+func Load(s string) error {
+	if s == "" {
+		return errors.New("graph: empty input")
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+// Package use carries exactly one errdrop finding and one stale
+// suppression, so the driver tests can pin exit codes, -json shape,
+// and -unused-suppressions reporting.
+package use
+
+import "lintfixture/internal/graph"
+
+// Run drops one error (the finding) and carries a stale ignore.
+func Run() int {
+	_ = graph.Load("x") // the errdrop finding
+
+	//lint:ignore errdrop nothing is dropped on this line; the ignore is stale
+	n := len("y")
+	return n
+}

@@ -48,10 +48,17 @@ type Analyzer struct {
 	// IgnoreTestFiles drops diagnostics reported in _test.go files.
 	IgnoreTestFiles bool
 
-	// Run implements the check. It reports findings through
+	// Run implements a per-unit check. It reports findings through
 	// pass.Reportf and returns an error only for internal failures
-	// (never for findings).
+	// (never for findings). Exactly one of Run and RunModule is set.
 	Run func(*Pass) error
+
+	// RunModule implements a whole-program check that needs every
+	// loaded unit at once (cross-package contracts like atomicfield's
+	// "atomic somewhere means atomic everywhere"). Diagnostics are
+	// mapped back to the unit owning their position for test-file
+	// filtering and suppression.
+	RunModule func(*ModulePass) error
 }
 
 // A Pass is one type-checked package presented to an analyzer.
@@ -81,10 +88,48 @@ type Diagnostic struct {
 	Message  string
 }
 
+// A ModulePass is one whole-program analyzer invocation: every loaded
+// unit at once, sharing the module's file set and loader.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Units    []*Unit
+
+	// Complete reports whether Units span the whole module. Checks
+	// that assert global absence (obscatalog's "this catalog entry is
+	// referenced nowhere") must be skipped when the driver loaded only
+	// an explicit subset of directories.
+	Complete bool
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AddUnit registers a unit the analyzer loaded on demand (e.g. the obs
+// catalog package when it was not among the requested directories), so
+// diagnostics inside it still get test-file filtering and suppression.
+func (p *ModulePass) AddUnit(u *Unit) { p.Units = append(p.Units, u) }
+
 // Run applies one analyzer to one loaded unit and returns the
 // diagnostics that survive test-file filtering and //lint:ignore
 // suppression processing, sorted by position.
 func Run(a *Analyzer, u *Unit) ([]Diagnostic, error) {
+	return RunTracked(a, u, nil)
+}
+
+// RunTracked is Run with a suppression-usage tracker: every
+// //lint:ignore comment that actually silenced a finding is marked
+// used, which is what the driver's -unused-suppressions mode reports
+// against.
+func RunTracked(a *Analyzer, u *Unit, tr *Tracker) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer:  a,
 		Fset:      u.Fset,
@@ -95,47 +140,144 @@ func Run(a *Analyzer, u *Unit) ([]Diagnostic, error) {
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
-	diags := pass.diags
-	if a.IgnoreTestFiles {
-		kept := diags[:0]
-		for _, d := range diags {
-			if !strings.HasSuffix(u.Fset.Position(d.Pos).Filename, "_test.go") {
-				kept = append(kept, d)
-			}
-		}
-		diags = kept
-	}
-	diags = applySuppressions(u, a.Name, diags)
+	diags := filterTestFiles(a, u.Fset, pass.diags)
+	diags = applySuppressions(u, a.Name, diags, tr)
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
 }
 
-// suppression is one parsed //lint:ignore comment.
-type suppression struct {
-	analyzer string
-	reason   string
-	pos      token.Pos
+// RunModule applies one whole-program analyzer to a set of units.
+// Diagnostics are attributed to the unit whose files contain their
+// position (suppressions in that unit apply); positions outside every
+// unit pass through unfiltered.
+func RunModule(a *Analyzer, m *Module, units []*Unit, complete bool, tr *Tracker) ([]Diagnostic, error) {
+	pass := &ModulePass{Analyzer: a, Module: m, Units: units, Complete: complete}
+	if err := a.RunModule(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	diags := filterTestFiles(a, m.Fset(), pass.diags)
+	byUnit := map[*Unit][]Diagnostic{}
+	var orphans []Diagnostic
+	for _, d := range diags {
+		if u := ownerUnit(pass.Units, m.Fset(), d.Pos); u != nil {
+			byUnit[u] = append(byUnit[u], d)
+		} else {
+			orphans = append(orphans, d)
+		}
+	}
+	out := orphans
+	for _, u := range pass.Units {
+		if ds, ok := byUnit[u]; ok {
+			out = append(out, applySuppressions(u, a.Name, ds, tr)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// ownerUnit finds the unit one of whose files contains pos.
+func ownerUnit(units []*Unit, fset *token.FileSet, pos token.Pos) *Unit {
+	tf := fset.File(pos)
+	if tf == nil {
+		return nil
+	}
+	for _, u := range units {
+		for _, f := range u.Files {
+			if fset.File(f.Pos()) == tf {
+				return u
+			}
+		}
+	}
+	return nil
+}
+
+// filterTestFiles drops diagnostics in _test.go files when the
+// analyzer asks for it.
+func filterTestFiles(a *Analyzer, fset *token.FileSet, diags []Diagnostic) []Diagnostic {
+	if !a.IgnoreTestFiles {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !strings.HasSuffix(fset.Position(d.Pos).Filename, "_test.go") {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// A Suppression is one parsed //lint:ignore comment.
+type Suppression struct {
+	// Analyzer is the name the comment targets.
+	Analyzer string
+	// Reason is the mandatory justification (empty = malformed).
+	Reason string
+	// Pos is the comment's position.
+	Pos token.Pos
+}
+
+// A Tracker records which //lint:ignore comments actually silenced a
+// finding across a lint run, keyed by comment position.
+type Tracker struct {
+	used map[token.Pos]bool
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{used: map[token.Pos]bool{}} }
+
+// Used reports whether the suppression at pos silenced any finding.
+func (t *Tracker) Used(pos token.Pos) bool { return t != nil && t.used[pos] }
+
+func (t *Tracker) mark(pos token.Pos) {
+	if t != nil {
+		t.used[pos] = true
+	}
+}
+
+// UnitSuppressions returns every //lint:ignore comment in the unit, in
+// file order.
+func UnitSuppressions(u *Unit) []Suppression {
+	var out []Suppression
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if s, ok := parseSuppression(c); ok {
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseSuppression parses one comment as a //lint:ignore directive.
+func parseSuppression(c *ast.Comment) (Suppression, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+	if !ok {
+		return Suppression{}, false
+	}
+	fields := strings.Fields(text)
+	s := Suppression{Pos: c.Pos()}
+	if len(fields) > 0 {
+		s.Analyzer = fields[0]
+	}
+	if len(fields) > 1 {
+		s.Reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+	}
+	return s, true
 }
 
 // suppressionsByLine maps "filename:line" of the code a comment covers
 // to the suppressions in force there. A trailing comment covers its own
 // line; a standalone comment covers the line below its last line.
-func suppressionsByLine(u *Unit) map[string][]suppression {
-	out := map[string][]suppression{}
+func suppressionsByLine(u *Unit) map[string][]Suppression {
+	out := map[string][]Suppression{}
 	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				s, ok := parseSuppression(c)
 				if !ok {
 					continue
-				}
-				fields := strings.Fields(text)
-				s := suppression{pos: c.Pos()}
-				if len(fields) > 0 {
-					s.analyzer = fields[0]
-				}
-				if len(fields) > 1 {
-					s.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
 				}
 				p := u.Fset.Position(c.Pos())
 				end := u.Fset.Position(c.End())
@@ -154,7 +296,7 @@ func suppressionsByLine(u *Unit) map[string][]suppression {
 // applySuppressions removes diagnostics covered by a well-formed
 // //lint:ignore comment for this analyzer and reports malformed
 // (reason-less) ignore comments that tried to cover a finding.
-func applySuppressions(u *Unit, name string, diags []Diagnostic) []Diagnostic {
+func applySuppressions(u *Unit, name string, diags []Diagnostic, tr *Tracker) []Diagnostic {
 	sup := suppressionsByLine(u)
 	if len(sup) == 0 {
 		return diags
@@ -166,14 +308,14 @@ func applySuppressions(u *Unit, name string, diags []Diagnostic) []Diagnostic {
 		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
 		matched := false
 		for _, s := range sup[key] {
-			if s.analyzer != name {
+			if s.Analyzer != name {
 				continue
 			}
-			if s.reason == "" {
-				if !badReported[s.pos] {
-					badReported[s.pos] = true
+			if s.Reason == "" {
+				if !badReported[s.Pos] {
+					badReported[s.Pos] = true
 					out = append(out, Diagnostic{
-						Pos:      s.pos,
+						Pos:      s.Pos,
 						Analyzer: name,
 						Message:  "//lint:ignore requires a reason: //lint:ignore " + name + " <why this is safe>",
 					})
@@ -181,6 +323,7 @@ func applySuppressions(u *Unit, name string, diags []Diagnostic) []Diagnostic {
 				continue
 			}
 			matched = true
+			tr.mark(s.Pos)
 		}
 		if !matched {
 			out = append(out, d)

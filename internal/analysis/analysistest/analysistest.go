@@ -30,7 +30,12 @@ import (
 
 // Run applies the analyzer to each fixture package testdata/src/<pkg>
 // (relative to the calling test's directory) and checks the resulting
-// diagnostics against the fixtures' want comments.
+// diagnostics against the fixtures' want comments. Every listed
+// package is registered as importable before loading, so fixtures may
+// import each other by their package argument (e.g. a stand-in
+// "internal/fault" package). A per-unit analyzer runs once per fixture
+// package; a module analyzer (RunModule set) runs once over all of
+// them, with wants checked across the whole set.
 func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	root, err := moduleRoot()
@@ -41,22 +46,39 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
-	for _, pkg := range pkgs {
+	m.Extra = map[string]string{}
+	dirs := make([]string, len(pkgs))
+	for i, pkg := range pkgs {
 		dir, err := filepath.Abs(filepath.Join("testdata", "src", pkg))
 		if err != nil {
 			t.Fatalf("analysistest: %v", err)
 		}
-		u, err := m.LoadFixture(pkg, dir)
+		dirs[i] = dir
+		m.Extra[pkg] = dir
+	}
+	var units []*analysis.Unit
+	for i, pkg := range pkgs {
+		u, err := m.LoadFixture(pkg, dirs[i])
 		if err != nil {
-			t.Errorf("analysistest: loading fixture %s: %v", pkg, err)
-			continue
+			t.Fatalf("analysistest: loading fixture %s: %v", pkg, err)
 		}
+		units = append(units, u)
+	}
+	if a.RunModule != nil {
+		diags, err := analysis.RunModule(a, m, units, true, nil)
+		if err != nil {
+			t.Fatalf("analysistest: running %s: %v", a.Name, err)
+		}
+		check(t, units, diags)
+		return
+	}
+	for i, u := range units {
 		diags, err := analysis.Run(a, u)
 		if err != nil {
-			t.Errorf("analysistest: running %s on %s: %v", a.Name, pkg, err)
+			t.Errorf("analysistest: running %s on %s: %v", a.Name, pkgs[i], err)
 			continue
 		}
-		check(t, u, diags)
+		check(t, []*analysis.Unit{u}, diags)
 	}
 }
 
@@ -68,15 +90,20 @@ type want struct {
 	used bool
 }
 
-func check(t *testing.T, u *analysis.Unit, diags []analysis.Diagnostic) {
+func check(t *testing.T, units []*analysis.Unit, diags []analysis.Diagnostic) {
 	t.Helper()
-	wants, err := collectWants(u)
-	if err != nil {
-		t.Error(err)
-		return
+	var wants []*want
+	for _, u := range units {
+		ws, err := collectWants(u)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		wants = append(wants, ws...)
 	}
+	fset := units[0].Fset
 	for _, d := range diags {
-		p := u.Fset.Position(d.Pos)
+		p := fset.Position(d.Pos)
 		matched := false
 		for _, w := range wants {
 			if w.used || w.file != p.Filename || w.line != p.Line {

@@ -1,0 +1,244 @@
+// Package atomicfield enforces the all-or-nothing discipline of
+// sync/atomic on struct fields: a field accessed through sync/atomic
+// anywhere in the module must be accessed atomically everywhere.
+// Mixed plain/atomic access is a latent race — the plain access is
+// invisible to the atomic protocol, and the race detector only
+// catches it when a schedule happens to expose the pair.
+//
+// Intent is declared with a `// atomic` comment on the field (with an
+// optional `// atomic: <why>` tail), and is also inferred from any
+// `&x.f` passed as the first argument of a sync/atomic call. Fields
+// of the typed sync/atomic wrappers (atomic.Int64 etc.) need no
+// checking — their API admits no plain access — and are skipped.
+//
+// Plain access is permitted only during construction: on a local
+// freshly allocated in the current scope, before it escapes.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mscfpq/internal/analysis"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &analysis.Analyzer{
+	Name:            "atomicfield",
+	Doc:             "a struct field accessed through sync/atomic (or annotated `// atomic`) must be accessed atomically everywhere; mixed plain/atomic access is a latent race",
+	IgnoreTestFiles: true,
+	RunModule:       run,
+}
+
+// evidence records why a field is considered atomic.
+type evidence struct {
+	pos       token.Pos // the annotation or the atomic call
+	annotated bool
+}
+
+func run(pass *analysis.ModulePass) error {
+	fields := map[types.Object]evidence{}
+	for _, u := range pass.Units {
+		collectAnnotated(u, fields)
+	}
+	for _, u := range pass.Units {
+		collectInferred(u, fields)
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+	for _, u := range pass.Units {
+		checkUnit(pass, u, fields)
+	}
+	return nil
+}
+
+// collectAnnotated gathers fields declared atomic with a `// atomic`
+// doc or line comment.
+func collectAnnotated(u *analysis.Unit, fields map[types.Object]evidence) {
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if !atomicAnnotation(fld.Doc) && !atomicAnnotation(fld.Comment) {
+					continue
+				}
+				for _, name := range fld.Names {
+					obj := u.Info.Defs[name]
+					if obj == nil || isTypedAtomic(obj.Type()) {
+						continue
+					}
+					if _, seen := fields[obj]; !seen {
+						fields[obj] = evidence{pos: name.Pos(), annotated: true}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// atomicAnnotation matches a comment group that is exactly `// atomic`
+// or starts `// atomic:` — prose that merely begins with the word
+// ("atomic so kernels can charge it") is not a declaration.
+func atomicAnnotation(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	text := strings.TrimSpace(cg.Text())
+	return text == "atomic" || strings.HasPrefix(text, "atomic:")
+}
+
+// collectInferred gathers fields whose address is taken as the first
+// argument of a sync/atomic function call.
+func collectInferred(u *analysis.Unit, fields map[types.Object]evidence) {
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicCall(u.Info, call) || len(call.Args) == 0 {
+				return true
+			}
+			obj := addrOfField(u.Info, call.Args[0])
+			if obj == nil || isTypedAtomic(obj.Type()) {
+				return true
+			}
+			if _, seen := fields[obj]; !seen {
+				fields[obj] = evidence{pos: call.Pos()}
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether the call invokes a sync/atomic package
+// function (AddInt64, LoadUint64, CompareAndSwapPointer, ...).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// addrOfField resolves &x.f to the field object f, or nil.
+func addrOfField(info *types.Info, arg ast.Expr) types.Object {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	return selection.Obj()
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed
+// wrappers (atomic.Int64, atomic.Pointer[T], ...).
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// checkUnit flags every plain access to a collected field.
+func checkUnit(pass *analysis.ModulePass, u *analysis.Unit, fields map[types.Object]evidence) {
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScope(pass, u, fd.Body, fields)
+		}
+	}
+}
+
+// checkScope walks one function scope; FuncLits are fresh scopes with
+// their own construction state.
+func checkScope(pass *analysis.ModulePass, u *analysis.Unit, scope *ast.BlockStmt, fields map[types.Object]evidence) {
+	constructed := analysis.ConstructedLocals(u.Info, scope)
+	escapes := map[types.Object]token.Pos{}
+	analysis.WalkStack(scope, func(n ast.Node, stack []ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != scope {
+			checkScope(pass, u, lit.Body, fields)
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := u.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		ev, isAtomic := fields[selection.Obj()]
+		if !isAtomic {
+			return true
+		}
+		if inAtomicArg(u.Info, sel, stack) {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj := u.Info.Uses[id]; obj != nil && constructed[obj] {
+				esc, seen := escapes[obj]
+				if !seen {
+					esc = analysis.FirstEscape(u.Info, scope, obj)
+					escapes[obj] = esc
+				}
+				if !esc.IsValid() || sel.Pos() < esc {
+					return true // construction phase: value not shared yet
+				}
+			}
+		}
+		what := "used through sync/atomic"
+		if ev.annotated {
+			what = "annotated `// atomic`"
+		}
+		pass.Reportf(sel.Pos(), "plain access to atomic field %s (%s at %s) — every access must go through sync/atomic",
+			selection.Obj().Name(), what, pass.Module.Fset().Position(ev.pos))
+		return true
+	})
+}
+
+// inAtomicArg reports whether the selector sits inside `&x.f` passed
+// directly to a sync/atomic call — the one sanctioned access form.
+func inAtomicArg(info *types.Info, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	var child ast.Node = sel
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+		case *ast.UnaryExpr:
+			if p.Op != token.AND {
+				return false
+			}
+			child = p
+		case *ast.CallExpr:
+			if !isAtomicCall(info, p) {
+				return false
+			}
+			for _, a := range p.Args {
+				if a == child {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

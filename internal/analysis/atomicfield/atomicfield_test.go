@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"mscfpq/internal/analysis/analysistest"
+	"mscfpq/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, atomicfield.Analyzer, "atompos", "atomneg")
+}

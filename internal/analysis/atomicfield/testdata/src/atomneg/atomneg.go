@@ -1,0 +1,52 @@
+// Package atomneg holds near misses for atomicfield: code that looks
+// like mixed access but is disciplined.
+package atomneg
+
+import "sync/atomic"
+
+type counter struct {
+	// atomic
+	hits int64
+	name string // plain field next to an atomic one: untouched by the rule
+}
+
+// newCounter initializes the fields plainly before the value escapes —
+// the sanctioned construction window.
+func newCounter(label string) *counter {
+	c := &counter{}
+	c.hits = 0
+	c.name = label
+	return c
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *counter) get() int64 { return atomic.LoadInt64(&c.hits) }
+
+func (c *counter) label() string { return c.name }
+
+// typed uses the typed wrapper whose API admits no plain access;
+// atomicfield has nothing to check.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) bump() { t.n.Add(1) }
+
+// other shares the field name with counter.hits but is a different
+// field object: plain access is fine.
+type other struct {
+	hits int64
+}
+
+func (o *other) touch() { o.hits++ }
+
+// prose is a comment that merely starts with the word "atomic" — not
+// an annotation.
+type prose struct {
+	// atomic so parallel kernels can charge it... is what a doc
+	// comment might say; this one declares nothing.
+	sum int64
+}
+
+func (p *prose) add(v int64) { p.sum += v }

@@ -1,0 +1,54 @@
+// Package atompos holds true positives for atomicfield: fields with
+// mixed plain/atomic access.
+package atompos
+
+import "sync/atomic"
+
+// counter declares its intent on hits; the plain read below breaks it.
+type counter struct {
+	// atomic: incremented from every worker without the lock
+	hits int64
+	pad  int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want `plain access to atomic field hits`
+}
+
+// inferred has no annotation: the Store below is the evidence.
+type inferred struct {
+	n int64
+}
+
+func bump(x *inferred) {
+	atomic.StoreInt64(&x.n, 7)
+}
+
+func peek(x *inferred) int64 {
+	return x.n // want `plain access to atomic field n`
+}
+
+func swap(x *inferred) {
+	x.n++ // want `plain access to atomic field n`
+}
+
+// aliased leaks the address outside the atomic API — indistinguishable
+// from a plain access for the protocol.
+func aliased(x *inferred) *int64 {
+	return &x.n // want `plain access to atomic field n`
+}
+
+// declared is annotated but only ever touched plainly: the annotation
+// alone makes the plain write a finding.
+type declared struct {
+	// atomic
+	state uint32
+}
+
+func set(d *declared) {
+	d.state = 1 // want `plain access to atomic field state`
+}

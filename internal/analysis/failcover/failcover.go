@@ -1,0 +1,264 @@
+// Package failcover keeps the chaos suite's failpoint enumeration
+// exhaustive: every durability operation — (*os.File).Sync, Write,
+// WriteString, Truncate, and os.Rename / os.Truncate — in the
+// durability packages must be reachable only behind a failpoint, so a
+// chaos test can make it fail. An operation is covered when
+//
+//   - a fault.Inject call precedes it in the same function scope, or
+//   - it writes through a fault.Writer-wrapped writer, or
+//   - every call site of its enclosing function is itself covered
+//     (helpers like syncDir inherit coverage from their callers).
+//
+// Anything else is a durability step a crash test can never reach —
+// exactly the drift that silently shrinks chaos coverage as code
+// grows.
+package failcover
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mscfpq/internal/analysis"
+)
+
+// Analyzer is the failcover check.
+var Analyzer = &analysis.Analyzer{
+	Name:            "failcover",
+	Doc:             "every Sync/Rename/Write/Truncate on a durability path must flow through a declared failpoint (fault.Inject before it, fault.Writer around it, or covered callers)",
+	DefaultScope:    []string{"internal/gdb", "internal/fault", "internal/resp"},
+	IgnoreTestFiles: true,
+	Run:             run,
+}
+
+// fileMethods are the (*os.File) methods that persist or destroy data.
+var fileMethods = map[string]bool{"Sync": true, "Write": true, "WriteString": true, "Truncate": true}
+
+// pkgFuncs are the package-level os functions that do the same.
+var pkgFuncs = map[string]bool{"Rename": true, "Truncate": true}
+
+// op is one durability operation found in the unit.
+type op struct {
+	call  *ast.CallExpr
+	name  string // display name, e.g. "(*os.File).Sync"
+	scope *ast.BlockStmt
+	fn    *types.Func // enclosing declared function, nil inside FuncLits
+}
+
+func run(pass *analysis.Pass) error {
+	u := unitView{pass: pass}
+	var ops []op
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+			collectOps(pass, fd, &ops)
+		}
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	sites := collectCallSites(pass, decls)
+	memo := map[*types.Func]coverage{}
+	for _, o := range ops {
+		if u.injectBefore(o.scope, o.call.Pos()) || writerWrapped(pass.TypesInfo, o.call) {
+			continue
+		}
+		if o.fn != nil && u.callersCovered(o.fn, sites, memo) {
+			continue
+		}
+		pass.Reportf(o.call.Pos(), "%s on a durability path without failpoint coverage — precede it with fault.Inject, route it through fault.Writer, or cover every caller (chaos enumeration depends on it)", o.name)
+	}
+	return nil
+}
+
+// collectOps walks one declared function, attributing ops to the
+// innermost scope (FuncLit bodies are their own scopes, with no
+// resolvable call sites).
+func collectOps(pass *analysis.Pass, fd *ast.FuncDecl, ops *[]op) {
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	var walk func(scope *ast.BlockStmt, owner *types.Func)
+	walk = func(scope *ast.BlockStmt, owner *types.Func) {
+		ast.Inspect(scope, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != scope {
+				walk(lit.Body, nil)
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := durabilityOp(pass.TypesInfo, call); ok {
+				*ops = append(*ops, op{call: call, name: name, scope: scope, fn: owner})
+			}
+			return true
+		})
+	}
+	walk(fd.Body, fn)
+}
+
+// durabilityOp classifies a call as a durability operation.
+func durabilityOp(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	if recv := sig.Recv(); recv != nil {
+		ptr, ok := recv.Type().(*types.Pointer)
+		if !ok {
+			return "", false
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok || named.Obj().Name() != "File" || !fileMethods[fn.Name()] {
+			return "", false
+		}
+		return "(*os.File)." + fn.Name(), true
+	}
+	if !pkgFuncs[fn.Name()] {
+		return "", false
+	}
+	return "os." + fn.Name(), true
+}
+
+// unitView bundles the pass for the coverage helpers.
+type unitView struct {
+	pass *analysis.Pass
+}
+
+// injectBefore reports whether a fault.Inject call lexically precedes
+// pos within the same function scope (nested FuncLits excluded — they
+// run at some other time).
+func (u unitView) injectBefore(scope *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != scope {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if call.Pos() < pos && isFaultCall(u.pass.TypesInfo, call, "Inject") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// writerWrapped reports whether the op's receiver expression routes
+// through fault.Writer (e.g. fault.Writer(fp, f).Write(rec)).
+func writerWrapped(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(sel.X, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && isFaultCall(info, c, "Writer") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isFaultCall matches calls to the failpoint framework by package-path
+// suffix, so fixture stand-ins qualify.
+func isFaultCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := analysis.CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Name() == name &&
+		strings.HasSuffix(fn.Pkg().Path(), "internal/fault")
+}
+
+// site is one call of a declared function.
+type site struct {
+	pos   token.Pos
+	scope *ast.BlockStmt
+	fn    *types.Func // caller, nil inside FuncLits
+}
+
+// collectCallSites indexes intra-unit calls of each declared function.
+func collectCallSites(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func][]site {
+	sites := map[*types.Func][]site{}
+	for _, fd := range decls {
+		caller, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		var walk func(scope *ast.BlockStmt, owner *types.Func)
+		walk = func(scope *ast.BlockStmt, owner *types.Func) {
+			ast.Inspect(scope, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok && lit.Body != scope {
+					walk(lit.Body, nil)
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := analysis.CalleeFunc(pass.TypesInfo, call)
+				if callee == nil {
+					return true
+				}
+				if _, declared := decls[callee]; declared {
+					sites[callee] = append(sites[callee], site{pos: call.Pos(), scope: scope, fn: owner})
+				}
+				return true
+			})
+		}
+		walk(fd.Body, caller)
+	}
+	return sites
+}
+
+type coverage int
+
+const (
+	unknown coverage = iota
+	inProgress
+	covered
+	uncovered
+)
+
+// callersCovered reports whether every call site of fn is behind a
+// failpoint, directly or transitively. Recursion cycles and functions
+// with no visible call sites are uncovered.
+func (u unitView) callersCovered(fn *types.Func, sites map[*types.Func][]site, memo map[*types.Func]coverage) bool {
+	switch memo[fn] {
+	case covered:
+		return true
+	case uncovered, inProgress:
+		return false
+	}
+	memo[fn] = inProgress
+	ss := sites[fn]
+	ok := len(ss) > 0
+	for _, s := range ss {
+		if u.injectBefore(s.scope, s.pos) {
+			continue
+		}
+		if s.fn != nil && u.callersCovered(s.fn, sites, memo) {
+			continue
+		}
+		ok = false
+		break
+	}
+	if ok {
+		memo[fn] = covered
+	} else {
+		memo[fn] = uncovered
+	}
+	return ok
+}

@@ -1,0 +1,12 @@
+package failcover_test
+
+import (
+	"testing"
+
+	"mscfpq/internal/analysis/analysistest"
+	"mscfpq/internal/analysis/failcover"
+)
+
+func TestFailCover(t *testing.T) {
+	analysistest.Run(t, failcover.Analyzer, "internal/fault", "fcpos", "fcneg")
+}

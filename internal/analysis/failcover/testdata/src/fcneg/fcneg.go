@@ -1,0 +1,75 @@
+// Package fcneg holds near misses for failcover: durability operations
+// a chaos test can reach, and writes that are not durability at all.
+package fcneg
+
+import (
+	"bytes"
+	"os"
+
+	"internal/fault"
+)
+
+const (
+	fpWrite  = "fc.write"
+	fpSync   = "fc.sync"
+	fpRename = "fc.rename"
+)
+
+// saveCovered precedes every op with its failpoint.
+func saveCovered(f *os.File, tmp, final string) error {
+	if err := fault.Inject(fpWrite); err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	if err := fault.Inject(fpSync); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := fault.Inject(fpRename); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// writerOnly is covered by the torn-write wrapper alone.
+func writerOnly(f *os.File, rec []byte) error {
+	_, err := fault.Writer(fpWrite, f).Write(rec)
+	return err
+}
+
+// helperSync inherits coverage: its every call site follows an Inject.
+func helperSync(f *os.File) error {
+	return f.Sync()
+}
+
+func callHelper(f *os.File) error {
+	if err := fault.Inject(fpSync); err != nil {
+		return err
+	}
+	return helperSync(f)
+}
+
+// grandparent coverage: two hops up the call chain.
+func deepHelper(f *os.File) error {
+	return helperTruncate(f)
+}
+
+func helperTruncate(f *os.File) error {
+	return f.Truncate(0)
+}
+
+func callDeep(f *os.File) error {
+	if err := fault.Inject(fpSync); err != nil {
+		return err
+	}
+	return deepHelper(f)
+}
+
+// bufWrite writes to memory — not a durability operation.
+func bufWrite(b *bytes.Buffer) {
+	b.Write([]byte("x"))
+}

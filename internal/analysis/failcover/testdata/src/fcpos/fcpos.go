@@ -1,0 +1,52 @@
+// Package fcpos holds true positives for failcover: durability
+// operations no chaos test can make fail.
+package fcpos
+
+import (
+	"os"
+
+	"internal/fault"
+)
+
+const fpSave = "fc.save"
+
+// saveUncovered persists without any failpoint on the path.
+func saveUncovered(f *os.File, tmp, final string) error {
+	if _, err := f.Write([]byte("x")); err != nil { // want `\(\*os\.File\)\.Write on a durability path without failpoint coverage`
+		return err
+	}
+	if err := f.Sync(); err != nil { // want `\(\*os\.File\)\.Sync on a durability path without failpoint coverage`
+		return err
+	}
+	return os.Rename(tmp, final) // want `os\.Rename on a durability path without failpoint coverage`
+}
+
+// rollback truncates with no way to fail the truncate itself.
+func rollback(f *os.File, size int64) error {
+	return f.Truncate(size) // want `\(\*os\.File\)\.Truncate on a durability path without failpoint coverage`
+}
+
+// helperSync is called from one covered and one uncovered site — the
+// uncovered caller breaks its inherited coverage.
+func helperSync(f *os.File) error {
+	return f.Sync() // want `\(\*os\.File\)\.Sync on a durability path without failpoint coverage`
+}
+
+func callCovered(f *os.File) error {
+	if err := fault.Inject(fpSave); err != nil {
+		return err
+	}
+	return helperSync(f)
+}
+
+func callUncovered(f *os.File) error {
+	return helperSync(f)
+}
+
+// lateInject fires the failpoint after the op — too late to tear it.
+func lateInject(f *os.File) error {
+	if err := f.Sync(); err != nil { // want `\(\*os\.File\)\.Sync on a durability path without failpoint coverage`
+		return err
+	}
+	return fault.Inject(fpSave)
+}

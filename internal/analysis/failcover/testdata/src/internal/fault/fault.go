@@ -1,0 +1,10 @@
+// Package fault is the fixture stand-in for the repository's
+// failpoint framework: failcover resolves Inject and Writer by
+// package-path suffix, so the fixture only needs matching signatures.
+package fault
+
+import "io"
+
+func Inject(name string) error { return nil }
+
+func Writer(name string, w io.Writer) io.Writer { return w }

@@ -42,13 +42,23 @@ type Module struct {
 	Extra map[string]string
 
 	fset     *token.FileSet
+	ctx      build.Context // file selection: build.Default plus any extra tags
 	std      types.ImporterFrom
 	pkgs     map[string]*types.Package // pure (non-test) packages by import path
 	checking map[string]bool
 }
 
-// LoadModule prepares a loader for the module rooted at root.
+// LoadModule prepares a loader for the module rooted at root, selecting
+// files with the default build configuration.
 func LoadModule(root string) (*Module, error) {
+	return LoadModuleTags(root, nil)
+}
+
+// LoadModuleTags is LoadModule with extra build tags (e.g. "nofault"),
+// so analyzers can be run over every file set the module compiles —
+// tag-split files like internal/fault's fault.go/fault_off.go pair are
+// otherwise only half-checked.
+func LoadModuleTags(root string, tags []string) (*Module, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -72,10 +82,13 @@ func LoadModule(root string) (*Module, error) {
 	if !ok {
 		return nil, fmt.Errorf("analysis: source importer unavailable")
 	}
+	ctx := build.Default
+	ctx.BuildTags = append(ctx.BuildTags[:len(ctx.BuildTags):len(ctx.BuildTags)], tags...)
 	return &Module{
 		Root:     root,
 		Path:     modPath,
 		fset:     fset,
+		ctx:      ctx,
 		std:      std,
 		pkgs:     map[string]*types.Package{},
 		checking: map[string]bool{},
@@ -203,7 +216,7 @@ func (m *Module) loadPure(path, dir string) (*types.Package, error) {
 // listFiles returns the buildable compiled, in-package test, and
 // external test file names of a directory, honoring build constraints.
 func (m *Module) listFiles(dir string) (goFiles, testFiles, xtestFiles []string, err error) {
-	bp, err := build.ImportDir(dir, 0)
+	bp, err := m.ctx.ImportDir(dir, 0)
 	if err != nil {
 		var noGo *build.NoGoError
 		if !errors.As(err, &noGo) {

@@ -1,0 +1,91 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"mscfpq/internal/analysis"
+)
+
+// unitFiles lists the base filenames a unit was built from.
+func unitFiles(u *analysis.Unit) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range u.Files {
+		out[filepath.Base(u.Fset.Position(f.Pos()).Filename)] = true
+	}
+	return out
+}
+
+// TestLoadModuleTags pins the build-tag handling the nofault lint pass
+// depends on: internal/fault splits on the tag (fault.go vs
+// fault_off.go), and both selections must type-check with the same
+// exported surface.
+func TestLoadModuleTags(t *testing.T) {
+	cases := []struct {
+		name      string
+		tags      []string
+		wantFile  string
+		rejelFile string
+	}{
+		{"default", nil, "fault.go", "fault_off.go"},
+		{"nofault", []string{"nofault"}, "fault_off.go", "fault.go"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := analysis.LoadModuleTags("../..", tc.tags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			units, err := m.LoadUnits("internal/fault", false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(units) != 1 {
+				t.Fatalf("units = %d, want 1", len(units))
+			}
+			u := units[0]
+			files := unitFiles(u)
+			if !files[tc.wantFile] {
+				t.Errorf("tags %v: %s not selected (got %v)", tc.tags, tc.wantFile, files)
+			}
+			if files[tc.rejelFile] {
+				t.Errorf("tags %v: %s should be excluded (got %v)", tc.tags, tc.rejelFile, files)
+			}
+			// Both builds expose the injection API.
+			for _, name := range []string{"Inject", "Enable", "Declare", "Names"} {
+				if u.Pkg.Scope().Lookup(name) == nil {
+					t.Errorf("tags %v: package lacks %s", tc.tags, name)
+				}
+			}
+		})
+	}
+}
+
+// TestLoadFixtureGenerics verifies generic code type-checks and the
+// loader records instantiations — analyzers resolve generic callees
+// through Info.Instances.
+func TestLoadFixtureGenerics(t *testing.T) {
+	_, u := loadFixture(t, "generic")
+	if u.Pkg == nil || u.Pkg.Name() != "generic" {
+		t.Fatalf("unexpected package: %v", u.Pkg)
+	}
+	if len(u.Info.Instances) == 0 {
+		t.Fatal("Info.Instances is empty — generic instantiations were not recorded")
+	}
+	var sawMap bool
+	for id := range u.Info.Instances {
+		if id.Name == "Map" {
+			sawMap = true
+		}
+	}
+	if !sawMap {
+		names := []string{}
+		for id := range u.Info.Instances {
+			names = append(names, id.Name)
+		}
+		sort.Strings(names)
+		t.Fatalf("no instantiation of Map recorded (got %s)", strings.Join(names, ", "))
+	}
+}

@@ -145,7 +145,7 @@ type lockEvent struct {
 // their lock state is independent of the enclosing function's.
 func checkScope(pass *analysis.Pass, guards map[types.Object]guardInfo, name string, scope *ast.BlockStmt, body ast.Node) {
 	callerHolds := strings.HasSuffix(name, "Locked")
-	constructed := constructedLocals(pass, scope)
+	constructed := analysis.ConstructedLocals(pass.TypesInfo, scope)
 
 	analysis.WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
 		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
@@ -191,54 +191,6 @@ func checkScope(pass *analysis.Pass, guards map[types.Object]guardInfo, name str
 		}
 		return true
 	})
-}
-
-// constructedLocals returns local variables initialized from a
-// composite literal or new(T) in this scope — values under
-// construction that cannot be shared yet.
-func constructedLocals(pass *analysis.Pass, scope *ast.BlockStmt) map[types.Object]bool {
-	out := map[types.Object]bool{}
-	ast.Inspect(scope, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok || len(assign.Lhs) != len(assign.Rhs) {
-			return true
-		}
-		for i, lhs := range assign.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok {
-				continue
-			}
-			obj := pass.TypesInfo.Defs[id]
-			if obj == nil {
-				continue
-			}
-			if isConstruction(assign.Rhs[i]) {
-				out[obj] = true
-			}
-		}
-		return true
-	})
-	return out
-}
-
-func isConstruction(e ast.Expr) bool {
-	switch e := ast.Unparen(e).(type) {
-	case *ast.CompositeLit:
-		return true
-	case *ast.UnaryExpr:
-		if e.Op == token.AND {
-			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
-			return ok
-		}
-	case *ast.CallExpr:
-		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
-			return id.Name == "new"
-		}
-	}
-	return false
 }
 
 // isWriteAccess reports whether the selector is the target of an

@@ -1,0 +1,356 @@
+// Package obscatalog kills metric/span name drift: every name a trace
+// or instrument call uses must resolve to the internal/obs catalog —
+// an instrument registered in obs, or an obs Key*/Span*/Layer* string
+// constant — and, conversely, every catalog entry must be referenced
+// somewhere outside obs (a registered-but-never-bumped counter, or a
+// span constant nothing emits, is drift in the other direction).
+//
+// Name arguments may be: a string constant whose value is a registered
+// instrument name or equals an obs catalog constant, any expression
+// rooted in the obs package (obs.SpanQuery, obs.SpanRound(n)), or a
+// bare parameter of the enclosing function — the wrapper-forwarding
+// idiom (exec.Run.StartSpan) whose own call sites are checked instead.
+//
+// Registered instrument names must also start with a declared Layer*
+// prefix, so the RESP INFO sectioning never silently buckets a new
+// metric into the wrong place.
+package obscatalog
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mscfpq/internal/analysis"
+)
+
+// Analyzer is the obscatalog check.
+var Analyzer = &analysis.Analyzer{
+	Name:            "obscatalog",
+	Doc:             "every metric/span name in code must resolve to the internal/obs instrument catalog, and every catalog entry must be referenced (unused entries are drift)",
+	IgnoreTestFiles: true,
+	RunModule:       run,
+}
+
+// catalog is what the obs package declares.
+type catalog struct {
+	obsPkg *types.Package
+	names  map[string]bool // registered instrument names + const values
+	layers map[string]bool // Layer* const values
+
+	// entries are the reverse-check subjects: instrument vars and
+	// Key*/Span* consts, in declaration order.
+	entries []entry
+}
+
+type entry struct {
+	obj  types.Object
+	name string
+	pos  token.Pos
+}
+
+func run(pass *analysis.ModulePass) error {
+	obsUnits := findObsUnits(pass)
+	if len(obsUnits) == 0 {
+		return nil // nothing to check against (driver run without obs in scope)
+	}
+	cat := collectCatalog(pass, obsUnits)
+	checkLayers(pass, obsUnits, cat)
+	for _, u := range pass.Units {
+		if u.Pkg == cat.obsPkg {
+			continue
+		}
+		checkNames(pass, u, cat)
+	}
+	if pass.Complete {
+		checkUnreferenced(pass, cat)
+	}
+	return nil
+}
+
+// findObsUnits locates the obs package among the loaded units, loading
+// it on demand when the driver was pointed at a subset of directories.
+func findObsUnits(pass *analysis.ModulePass) []*analysis.Unit {
+	var out []*analysis.Unit
+	for _, u := range pass.Units {
+		if pathBase(u.Pkg.Path()) == "obs" {
+			out = append(out, u)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	if pass.Module == nil {
+		return nil
+	}
+	units, err := pass.Module.LoadUnits("internal/obs", false)
+	if err != nil {
+		return nil
+	}
+	for _, u := range units {
+		pass.AddUnit(u)
+	}
+	return units
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+// collectCatalog gathers registered instrument names, Key*/Span*/Layer*
+// constants, and the reverse-check entries from the obs package.
+func collectCatalog(pass *analysis.ModulePass, obsUnits []*analysis.Unit) *catalog {
+	cat := &catalog{obsPkg: obsUnits[0].Pkg, names: map[string]bool{}, layers: map[string]bool{}}
+	for _, u := range obsUnits {
+		for _, f := range u.Files {
+			if isTestFile(u, f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					collectSpec(u, gd.Tok, vs, cat)
+				}
+			}
+		}
+	}
+	return cat
+}
+
+func collectSpec(u *analysis.Unit, tok token.Token, vs *ast.ValueSpec, cat *catalog) {
+	for i, name := range vs.Names {
+		obj := u.Info.Defs[name]
+		if obj == nil || !obj.Exported() {
+			continue
+		}
+		switch {
+		case tok == token.CONST:
+			val := constStringValue(obj)
+			if val == "" {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(name.Name, "Layer"):
+				cat.layers[val] = true
+				cat.names[val] = true
+			case strings.HasPrefix(name.Name, "Key"), strings.HasPrefix(name.Name, "Span"):
+				cat.names[val] = true
+				cat.entries = append(cat.entries, entry{obj: obj, name: val, pos: name.Pos()})
+			}
+		case tok == token.VAR && i < len(vs.Values):
+			// Instrument registrations: Default.Counter("name") etc.
+			if val, pos, ok := registrationName(u, vs.Values[i]); ok {
+				cat.names[val] = true
+				cat.entries = append(cat.entries, entry{obj: obj, name: val, pos: pos})
+			}
+		}
+	}
+}
+
+// constStringValue returns a constant's string value, or "".
+func constStringValue(obj types.Object) string {
+	c, ok := obj.(*types.Const)
+	if !ok || c.Val().Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(c.Val())
+}
+
+// registrationName extracts the constant name argument of a
+// Counter/Gauge/Histogram registration expression.
+func registrationName(u *analysis.Unit, rhs ast.Expr) (string, token.Pos, bool) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", token.NoPos, false
+	}
+	fn := analysis.CalleeFunc(u.Info, call)
+	if fn == nil || !registerMethods[fn.Name()] {
+		return "", token.NoPos, false
+	}
+	tv, ok := u.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", token.NoPos, false
+	}
+	return constant.StringVal(tv.Value), call.Args[0].Pos(), true
+}
+
+var registerMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// checkLayers verifies every registered instrument name starts with a
+// declared layer prefix.
+func checkLayers(pass *analysis.ModulePass, obsUnits []*analysis.Unit, cat *catalog) {
+	if len(cat.layers) == 0 {
+		return
+	}
+	for _, e := range cat.entries {
+		if _, isVar := e.obj.(*types.Var); !isVar {
+			continue // only registered instruments carry layer prefixes
+		}
+		prefix, _, _ := strings.Cut(e.name, ".")
+		if !cat.layers[prefix] {
+			pass.Reportf(e.pos, "instrument %q has no declared layer: %q is not a Layer* constant (INFO sectioning would misfile it)", e.name, prefix)
+		}
+	}
+}
+
+// checkNames verifies every name argument in a non-obs unit resolves
+// to the catalog.
+func checkNames(pass *analysis.ModulePass, u *analysis.Unit, cat *catalog) {
+	for _, f := range u.Files {
+		var enclosing *ast.FuncDecl
+		stackWalk := func(n ast.Node, stack []ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				enclosing = fd
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !nameTakingCall(u.Info, call, cat) || len(call.Args) == 0 {
+				return true
+			}
+			arg := call.Args[0]
+			if tv, ok := u.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				name := constant.StringVal(tv.Value)
+				if !cat.names[name] {
+					pass.Reportf(arg.Pos(), "metric/span name %q is not in the internal/obs catalog — declare it there (or reuse an existing Span*/Key* constant)", name)
+				}
+				return true
+			}
+			if obsRooted(u.Info, arg, cat.obsPkg) {
+				return true
+			}
+			if forwardedParam(u.Info, arg, enclosing) {
+				return true
+			}
+			pass.Reportf(arg.Pos(), "dynamic metric/span name does not come from the obs catalog — derive it through an obs helper (e.g. obs.SpanRound) or forward a checked parameter")
+			return true
+		}
+		analysis.WalkStack(f, stackWalk)
+	}
+}
+
+// nameTakingCall matches the APIs whose first argument is a metric or
+// span name: obs.NewTrace, (*obs.Trace).Start/AddSpan/Add,
+// (*obs.Registry).Counter/Gauge/Histogram, and the exec.Run.StartSpan
+// forwarder.
+func nameTakingCall(info *types.Info, call *ast.CallExpr, cat *catalog) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	recvName := ""
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recvName = named.Obj().Name()
+		}
+	}
+	if fn.Pkg() == cat.obsPkg || pathBase(fn.Pkg().Path()) == "obs" {
+		switch recvName {
+		case "":
+			return fn.Name() == "NewTrace"
+		case "Trace":
+			return fn.Name() == "Start" || fn.Name() == "AddSpan" || fn.Name() == "Add"
+		case "Registry":
+			return registerMethods[fn.Name()]
+		}
+		return false
+	}
+	if strings.HasSuffix(fn.Pkg().Path(), "internal/exec") && recvName == "Run" {
+		return fn.Name() == "StartSpan"
+	}
+	return false
+}
+
+// obsRooted reports whether the expression derives from the obs
+// package: a qualified obs identifier or a call of an obs function.
+func obsRooted(info *types.Info, e ast.Expr, obsPkg *types.Package) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := analysis.CalleeFunc(info, v)
+		return fn != nil && fn.Pkg() != nil && (fn.Pkg() == obsPkg || pathBase(fn.Pkg().Path()) == "obs")
+	case *ast.SelectorExpr:
+		obj := info.Uses[v.Sel]
+		return obj != nil && obj.Pkg() != nil && (obj.Pkg() == obsPkg || pathBase(obj.Pkg().Path()) == "obs")
+	case *ast.Ident:
+		obj := info.Uses[v]
+		return obj != nil && obj.Pkg() != nil && (obj.Pkg() == obsPkg || pathBase(obj.Pkg().Path()) == "obs")
+	}
+	return false
+}
+
+// forwardedParam reports whether arg is a bare parameter of the
+// enclosing function — the wrapper idiom, whose callers are checked.
+func forwardedParam(info *types.Info, arg ast.Expr, enclosing *ast.FuncDecl) bool {
+	id, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok || enclosing == nil || enclosing.Type.Params == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	for _, field := range enclosing.Type.Params.List {
+		for _, name := range field.Names {
+			if info.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether f is a _test.go file of its unit.
+func isTestFile(u *analysis.Unit, f *ast.File) bool {
+	return strings.HasSuffix(u.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// checkUnreferenced flags catalog entries no non-test file outside
+// their declaration ever mentions. Units type-check independently, so
+// the same obs declaration materializes as distinct objects per
+// importing unit — entries are matched by (package path, name).
+func checkUnreferenced(pass *analysis.ModulePass, cat *catalog) {
+	referenced := map[string]bool{}
+	for _, u := range pass.Units {
+		for _, f := range u.Files {
+			if isTestFile(u, f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if obj := u.Info.Uses[id]; obj != nil && obj.Pkg() != nil {
+					referenced[obj.Pkg().Path()+"."+obj.Name()] = true
+				}
+				return true
+			})
+		}
+	}
+	for _, e := range cat.entries {
+		if !referenced[e.obj.Pkg().Path()+"."+e.obj.Name()] {
+			pass.Reportf(e.pos, "catalog entry %q is never referenced outside its declaration — drift (delete it or wire it up)", e.name)
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package obscatalog_test
+
+import (
+	"testing"
+
+	"mscfpq/internal/analysis/analysistest"
+	"mscfpq/internal/analysis/obscatalog"
+)
+
+func TestObsCatalogDrift(t *testing.T) {
+	analysistest.Run(t, obscatalog.Analyzer, "obscatpos/obs", "obscatpos/use")
+}
+
+func TestObsCatalogClean(t *testing.T) {
+	analysistest.Run(t, obscatalog.Analyzer, "obscatneg/obs", "obscatneg/use")
+}

@@ -1,0 +1,251 @@
+// Package snapfreeze enforces publish-time immutability: a type
+// annotated `// immutable after publish` (store.Snapshot, the cached
+// plan contexts) may only be mutated while the value is still private
+// to its constructor — a local freshly allocated in the current scope,
+// before it escapes. Once such a value is published (returned, stored,
+// passed along), concurrent readers share it with no synchronization,
+// so any later field write, element write, or delete through it is a
+// data race by construction.
+//
+// Mutating a by-value copy of an annotated struct is fine (the copy is
+// private); mutating through a pointer, map, or slice reached from one
+// is not.
+package snapfreeze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mscfpq/internal/analysis"
+)
+
+// Analyzer is the snapfreeze check.
+var Analyzer = &analysis.Analyzer{
+	Name:            "snapfreeze",
+	Doc:             "types annotated `// immutable after publish` may only be mutated in their constructors/clone methods before the value escapes",
+	IgnoreTestFiles: true,
+	RunModule:       run,
+}
+
+const marker = "immutable after publish"
+
+func run(pass *analysis.ModulePass) error {
+	frozen := map[*types.TypeName]bool{}
+	for _, u := range pass.Units {
+		collectAnnotated(u, frozen)
+	}
+	if len(frozen) == 0 {
+		return nil
+	}
+	for _, u := range pass.Units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkScope(pass, u, fd.Body, frozen)
+			}
+		}
+	}
+	return nil
+}
+
+// collectAnnotated gathers type declarations whose doc comment contains
+// the `immutable after publish` marker.
+func collectAnnotated(u *analysis.Unit, frozen map[*types.TypeName]bool) {
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if !hasMarker(doc) && !hasMarker(ts.Comment) {
+					continue
+				}
+				if tn, ok := u.Info.Defs[ts.Name].(*types.TypeName); ok {
+					frozen[tn] = true
+				}
+			}
+		}
+	}
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.Contains(cg.Text(), marker)
+}
+
+// mutation is one write whose lvalue passes through an annotated type.
+type mutation struct {
+	pos      token.Pos
+	typeName string
+	field    string
+}
+
+// checkScope analyzes one function scope; FuncLits recurse as fresh
+// scopes (a goroutine body mutating a captured snapshot is exactly the
+// bug class this analyzer exists for).
+func checkScope(pass *analysis.ModulePass, u *analysis.Unit, scope *ast.BlockStmt, frozen map[*types.TypeName]bool) {
+	constructed := analysis.ConstructedLocals(u.Info, scope)
+	escapes := map[types.Object]token.Pos{}
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != scope {
+			checkScope(pass, u, lit.Body, frozen)
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkLValue(pass, u, lhs, frozen, constructed, escapes, scope)
+			}
+		case *ast.IncDecStmt:
+			checkLValue(pass, u, st.X, frozen, constructed, escapes, scope)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := u.Info.Uses[id].(*types.Builtin); isBuiltin && len(st.Args) > 0 {
+					checkLValue(pass, u, st.Args[0], frozen, constructed, escapes, scope)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkLValue walks an lvalue chain outward-in (c.attrs[k], *p.field,
+// ...), recording writes that pass through an annotated type and
+// deciding whether the root makes them safe.
+func checkLValue(pass *analysis.ModulePass, u *analysis.Unit, lhs ast.Expr, frozen map[*types.TypeName]bool,
+	constructed map[types.Object]bool, escapes map[types.Object]token.Pos, scope *ast.BlockStmt) {
+
+	var mut *mutation
+	viaRef := false // an indexing/deref step, or a pointer-typed base, on the path
+	e := ast.Unparen(lhs)
+walk:
+	for {
+		switch v := e.(type) {
+		case *ast.IndexExpr:
+			viaRef = true
+			e = ast.Unparen(v.X)
+		case *ast.StarExpr:
+			viaRef = true
+			if mut == nil {
+				if tn := frozenBase(u.Info, v.X, frozen); tn != nil {
+					mut = &mutation{pos: v.Pos(), typeName: tn.Name()}
+				}
+			}
+			e = ast.Unparen(v.X)
+		case *ast.SelectorExpr:
+			if sel := u.Info.Selections[v]; sel != nil && sel.Kind() == types.FieldVal {
+				if mut == nil {
+					if tn := frozenBase(u.Info, v.X, frozen); tn != nil {
+						mut = &mutation{pos: v.Pos(), typeName: tn.Name(), field: v.Sel.Name}
+					}
+				}
+				if t := u.Info.TypeOf(v.X); t != nil {
+					if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+						viaRef = true
+					}
+				}
+			}
+			e = ast.Unparen(v.X)
+		case *ast.Ident:
+			if mut == nil {
+				return
+			}
+			report(pass, u, v, mut, viaRef, constructed, escapes, scope)
+			return
+		default:
+			break walk
+		}
+	}
+	if mut != nil {
+		// No identifiable root (call result, etc.): conservatively flag.
+		pass.Reportf(mut.pos, "mutation of immutable-after-publish type %s%s", mut.typeName, fieldSuffix(mut))
+	}
+}
+
+// frozenBase resolves the annotated named type of x (through one level
+// of pointer), or nil.
+func frozenBase(info *types.Info, x ast.Expr, frozen map[*types.TypeName]bool) *types.TypeName {
+	t := info.TypeOf(x)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if tn != nil && frozen[tn] {
+		return tn
+	}
+	return nil
+}
+
+// report decides whether the rooted mutation is inside a sanctioned
+// construction window and reports it otherwise.
+func report(pass *analysis.ModulePass, u *analysis.Unit, root *ast.Ident, mut *mutation, viaRef bool,
+	constructed map[types.Object]bool, escapes map[types.Object]token.Pos, scope *ast.BlockStmt) {
+
+	obj := u.Info.Uses[root]
+	if obj == nil {
+		obj = u.Info.Defs[root]
+	}
+	if obj != nil {
+		if constructed[obj] {
+			esc, seen := escapes[obj]
+			if !seen {
+				esc = analysis.FirstEscape(u.Info, scope, obj)
+				escapes[obj] = esc
+			}
+			if !esc.IsValid() || mut.pos < esc {
+				return // constructor/clone building a private value
+			}
+			pass.Reportf(mut.pos, "mutation of immutable-after-publish type %s%s after the value escapes (published at %s)",
+				mut.typeName, fieldSuffix(mut), pass.Module.Fset().Position(esc))
+			return
+		}
+		if !viaRef && isLocalValue(u, obj) {
+			return // writing a field of a by-value copy: private memory
+		}
+	}
+	pass.Reportf(mut.pos, "mutation of immutable-after-publish type %s%s outside its construction window",
+		mut.typeName, fieldSuffix(mut))
+}
+
+func fieldSuffix(mut *mutation) string {
+	if mut.field == "" {
+		return ""
+	}
+	return " (field " + mut.field + ")"
+}
+
+// isLocalValue reports whether obj is a non-pointer local variable or
+// parameter — a struct copy whose mutation cannot reach shared memory.
+func isLocalValue(u *analysis.Unit, obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if v.Parent() == nil || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+		return false // package-level: shared
+	}
+	if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return true
+}

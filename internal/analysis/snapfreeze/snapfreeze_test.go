@@ -1,0 +1,12 @@
+package snapfreeze_test
+
+import (
+	"testing"
+
+	"mscfpq/internal/analysis/analysistest"
+	"mscfpq/internal/analysis/snapfreeze"
+)
+
+func TestSnapFreeze(t *testing.T) {
+	analysistest.Run(t, snapfreeze.Analyzer, "snappos", "snapneg")
+}

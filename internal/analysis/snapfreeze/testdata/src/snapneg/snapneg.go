@@ -1,0 +1,44 @@
+// Package snapneg holds near misses for snapfreeze: construction,
+// cloning, and by-value copies of an annotated type.
+package snapneg
+
+// frozen is the annotated type under test.
+//
+// immutable after publish
+type frozen struct {
+	id   int
+	tags []string
+}
+
+// NewFrozen builds the value field by field before anything sees it.
+func NewFrozen(id int, tags []string) *frozen {
+	f := &frozen{}
+	f.id = id
+	f.tags = append(f.tags, tags...)
+	return f
+}
+
+// Clone reads the (published) receiver but mutates only the fresh copy.
+func (f *frozen) Clone() *frozen {
+	c := &frozen{id: f.id}
+	c.tags = append(c.tags, f.tags...)
+	return c
+}
+
+// byValue mutates a stack copy of the struct — private memory.
+func byValue(f frozen) int {
+	f.id = 99
+	return f.id
+}
+
+// reads of a published value are always fine.
+func sum(f *frozen) int {
+	return f.id + len(f.tags)
+}
+
+// unannotated is the same shape without the marker: mutate freely.
+type unannotated struct {
+	id int
+}
+
+func (u *unannotated) Set(v int) { u.id = v }

@@ -1,0 +1,51 @@
+// Package snappos holds true positives for snapfreeze: mutations of a
+// published immutable value.
+package snappos
+
+// version is shared lock-free by concurrent readers once published.
+//
+// immutable after publish
+type version struct {
+	id    int
+	attrs map[string]int
+}
+
+func newVersion(id int) *version {
+	v := &version{id: id, attrs: map[string]int{}}
+	return v
+}
+
+// Bump mutates a receiver that may already be published.
+func (v *version) Bump() {
+	v.id++ // want `mutation of immutable-after-publish type version`
+}
+
+// setAttr mutates an element reached through a published value.
+func setAttr(v *version, k string) {
+	v.attrs[k] = 1 // want `mutation of immutable-after-publish type version`
+}
+
+// dropAttr deletes through a published value.
+func dropAttr(v *version, k string) {
+	delete(v.attrs, k) // want `mutation of immutable-after-publish type version`
+}
+
+// escaped keeps writing after the value has been handed out.
+func escaped(id int) *version {
+	v := &version{id: id}
+	publish(v)
+	v.id = 2 // want `after the value escapes`
+	return v
+}
+
+func publish(*version) {}
+
+// captured mutates a snapshot from a goroutine-shaped closure — a
+// separate scope, so the construction window does not apply.
+func captured(id int) *version {
+	v := &version{id: id}
+	go func() {
+		v.id = 3 // want `mutation of immutable-after-publish type version`
+	}()
+	return v
+}

@@ -1,0 +1,26 @@
+// Package generic exercises the loader's type-checking of generic
+// code: instantiation must populate Info.Instances so analyzers can
+// resolve callees of generic functions.
+package generic
+
+// Pair is a generic container.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// Map applies f elementwise.
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+// Use instantiates Map and Pair.
+func Use() []Pair[string, int] {
+	return Map([]int{1, 2}, func(i int) Pair[string, int] {
+		return Pair[string, int]{Key: "n", Val: i}
+	})
+}

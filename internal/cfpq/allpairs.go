@@ -1,8 +1,6 @@
 package cfpq
 
 import (
-	"fmt"
-
 	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
@@ -36,7 +34,7 @@ func AllPairs(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result, error) 
 		}
 		changed = false
 		r.Rounds++
-		span := run.StartSpan(fmt.Sprintf("round %d", r.Rounds))
+		span := run.StartSpan(obs.SpanRound(r.Rounds))
 		for _, rule := range w.BinRules {
 			prod, err := run.Mul(r.T[rule.B], r.T[rule.C])
 			if err != nil {

@@ -187,7 +187,7 @@ func (idx *Index) MultiSourceSmartFrom(srcByNT map[int]*matrix.Vector, opts ...O
 		}
 		changed = false
 		rounds++
-		span := run.StartSpan(fmt.Sprintf("round %d", rounds))
+		span := run.StartSpan(obs.SpanRound(rounds))
 		for _, rule := range w.BinRules {
 			run.ObserveFrontier(newSrc[rule.A].NVals())
 			m, err := run.Mul(newSrc[rule.A], work[rule.B])

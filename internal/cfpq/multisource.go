@@ -90,7 +90,7 @@ func MultiSourceFrom(g *graph.Graph, w *grammar.WCNF, srcByNT map[int]*matrix.Ve
 		}
 		changed = false
 		r.Rounds++
-		span := run.StartSpan(fmt.Sprintf("round %d", r.Rounds))
+		span := run.StartSpan(obs.SpanRound(r.Rounds))
 		for _, rule := range w.BinRules {
 			run.ObserveFrontier(r.Src[rule.A].NVals())
 			m, err := run.Mul(r.Src[rule.A], r.T[rule.B])

@@ -1,8 +1,6 @@
 package cfpq
 
 import (
-	"fmt"
-
 	"mscfpq/internal/exec"
 	"mscfpq/internal/grammar"
 	"mscfpq/internal/graph"
@@ -42,7 +40,7 @@ func AllPairsSemiNaive(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*Result
 			return nil, err
 		}
 		r.Rounds++
-		span := run.StartSpan(fmt.Sprintf("round %d", r.Rounds))
+		span := run.StartSpan(obs.SpanRound(r.Rounds))
 		next := make([]*matrix.Bool, nnt)
 		for a := 0; a < nnt; a++ {
 			next[a] = matrix.NewBool(n, n)

@@ -108,7 +108,7 @@ func SinglePath(g *graph.Graph, w *grammar.WCNF, opts ...Option) (*SinglePathRes
 	for changed := true; changed; {
 		changed = false
 		r.Rounds++
-		span := run.StartSpan(fmt.Sprintf("round %d", r.Rounds))
+		span := run.StartSpan(obs.SpanRound(r.Rounds))
 		for ri, rule := range w.BinRules {
 			// MulWitness has no row-block cancellation; checking between
 			// rule applications still bounds the latency of a cancel to

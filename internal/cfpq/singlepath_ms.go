@@ -99,7 +99,7 @@ func MultiSourceSinglePath(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector, 
 	for changed := true; changed; {
 		changed = false
 		r.Rounds++
-		span := run.StartSpan(fmt.Sprintf("round %d", r.Rounds))
+		span := run.StartSpan(obs.SpanRound(r.Rounds))
 		for ri, rule := range w.BinRules {
 			// M = TSrc^A * T^B restricts rows to the current sources;
 			// because TSrc^A is diagonal, M's entries are T^B entries,

@@ -170,7 +170,7 @@ func CheckEval(inst gen.Instance) error {
 		// attached and the metrics registry disabled.
 		obs.SetEnabled(false)
 		traced, err := cfpq.Eval(inst.G, inst.W, src,
-			cfpq.WithAlgorithm(alg), cfpq.WithTrace(obs.NewTrace("difftest")))
+			cfpq.WithAlgorithm(alg), cfpq.WithTrace(obs.NewTrace(obs.SpanDiffTest)))
 		obs.SetEnabled(true)
 		if err != nil {
 			return fmt.Errorf("Eval %v traced: %v", alg, err)

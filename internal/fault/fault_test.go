@@ -51,7 +51,7 @@ func TestInjectPanic(t *testing.T) {
 			t.Fatalf("recover = %v", r)
 		}
 	}()
-	//lint:ignore errdrop the call panics; there is no error to see
+	// The call panics; there is no error to see.
 	_ = Inject("t.panic")
 	t.Fatal("Inject did not panic")
 }

@@ -159,10 +159,10 @@ func TestChaosCrashAtEveryFailpoint(t *testing.T) {
 			panicked := func() (panicked bool) {
 				defer func() { panicked = recover() != nil }()
 				if saveFailpoint(fp) {
-					//lint:ignore errdrop the panic preempts the return; there is no error to read
+					// The panic preempts the return; there is no error to read.
 					_ = db.Save()
 				} else {
-					//lint:ignore errdrop ditto
+					// Ditto.
 					_, _ = db.Query("g", inflight)
 				}
 				return false
@@ -286,7 +286,7 @@ func FuzzRecoverSnapshot(f *testing.F) {
 		if err != nil {
 			return // rejected damage: the contract for arbitrary bytes
 		}
-		//lint:ignore errdrop fuzz cleanup; the store was already validated by Open
+		// Fuzz cleanup; the store was already validated by Open.
 		defer db.Close()
 		dumpAll(t, db)
 	})

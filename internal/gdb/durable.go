@@ -121,7 +121,7 @@ func removeTempFiles(dir string) {
 		return
 	}
 	for _, t := range tmps {
-		//lint:ignore errdrop best-effort cleanup; a stale temp file is inert
+		// Best-effort cleanup; a stale temp file is inert.
 		_ = os.Remove(t)
 	}
 }
@@ -168,6 +168,38 @@ func loadNewestSnapshot(dir string) (uint64, map[string]*GraphStore, error) {
 	return 0, nil, fmt.Errorf("gdb: no valid snapshot in %s (newest: %w)", dir, firstErr)
 }
 
+// Failpoints on the error-handling edges of durability: rolling a
+// partial journal record back, truncating a torn tail during
+// recovery, and the final sync on Close. They live outside the chaos
+// suite's gdb.snapshot./gdb.journal. enumeration on purpose — those
+// points must all fire during a plain Save/Query pass, while these
+// only trigger on failure paths (see faultpath_test.go).
+const (
+	FPRollbackTruncate = "gdb.rollback.truncate"
+	FPRecoverTruncate  = "gdb.recover.truncate"
+	FPCloseSync        = "gdb.close.sync"
+)
+
+var _ = fault.Declare(FPRollbackTruncate, FPRecoverTruncate, FPCloseSync)
+
+// truncateJournal rolls the live journal back to size, dropping the
+// bytes of a partially appended record.
+func truncateJournal(f *os.File, size int64) error {
+	if err := fault.Inject(FPRollbackTruncate); err != nil {
+		return err
+	}
+	return f.Truncate(size)
+}
+
+// syncJournalOnClose flushes the journal one last time before the
+// file handle is released.
+func syncJournalOnClose(f *os.File) error {
+	if err := fault.Inject(FPCloseSync); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
 // replayInto re-applies the journal paired with snapshot seq and
 // truncates any torn tail so the next append starts on a record
 // boundary.
@@ -183,6 +215,9 @@ func (dur *durability) replayInto(db *DB, seq uint64) error {
 		}
 	}
 	if torn {
+		if err := fault.Inject(FPRecoverTruncate); err != nil {
+			return fmt.Errorf("gdb: truncating torn journal tail: %w", err)
+		}
 		if err := os.Truncate(path, good); err != nil {
 			return fmt.Errorf("gdb: truncating torn journal tail: %w", err)
 		}
@@ -261,7 +296,7 @@ func (db *DB) commit(op journalOp, apply func()) error {
 		// every record appended after it. If even the rollback
 		// fails the journal is unusable until a Save rotates it
 		// out.
-		if terr := db.dur.jf.Truncate(st.Size()); terr != nil {
+		if terr := truncateJournal(db.dur.jf, st.Size()); terr != nil {
 			db.dur.broken = terr
 		}
 		return err
@@ -324,7 +359,7 @@ func (db *DB) Save() error {
 			dur.broken = rerr
 			dur.mu.Unlock()
 		} else {
-			//lint:ignore errdrop best-effort cleanup; a stale empty journal is truncated on the next save
+			// Best-effort cleanup; a stale empty journal is truncated on the next save.
 			_ = os.Remove(journalPath(dur.dir, next))
 		}
 		return err
@@ -345,9 +380,9 @@ func (db *DB) Save() error {
 		dur.mu.Unlock()
 		//lint:ignore errdrop best-effort retirement of the unused journal fd
 		_ = nf.Close()
-		//lint:ignore errdrop best-effort cleanup; a leftover pair is consistent (see above) and recovery validates it
+		// Best-effort cleanup; a leftover pair is consistent (see above) and recovery validates it.
 		_ = os.Remove(snapshotPath(dur.dir, next))
-		//lint:ignore errdrop ditto
+		// Ditto.
 		_ = os.Remove(journalPath(dur.dir, next))
 		return ErrClosed
 	}
@@ -405,11 +440,11 @@ func (dur *durability) prune(current uint64) {
 	}
 	for _, e := range entries {
 		if seq, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && seq < keep {
-			//lint:ignore errdrop best-effort pruning; stale snapshots are harmless
+			// Best-effort pruning; stale snapshots are harmless.
 			_ = os.Remove(filepath.Join(dur.dir, e.Name()))
 		}
 		if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok && seq < keep {
-			//lint:ignore errdrop best-effort pruning; retired journals are harmless
+			// Best-effort pruning; retired journals are harmless.
 			_ = os.Remove(filepath.Join(dur.dir, e.Name()))
 		}
 	}
@@ -438,7 +473,7 @@ func (db *DB) Close() error {
 	close(dur.stop)
 	<-dur.done
 
-	if err := jf.Sync(); err != nil {
+	if err := syncJournalOnClose(jf); err != nil {
 		//lint:ignore errdrop the sync failure is the error to surface; close cannot add to it
 		_ = jf.Close()
 		return fmt.Errorf("gdb: close: %w", err)

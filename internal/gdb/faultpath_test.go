@@ -1,0 +1,109 @@
+//go:build !nofault
+
+package gdb
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"mscfpq/internal/fault"
+)
+
+// Regression tests for the error-path failpoints (FPRollbackTruncate,
+// FPRecoverTruncate, FPCloseSync). Unlike the chaos-enumerated
+// gdb.snapshot./gdb.journal. points these never fire on a clean
+// Save/Query pass, so each needs its failure staged explicitly.
+
+// TestRollbackTruncateFailurePoisonsJournal stages a failed append
+// whose rollback also fails: the journal must refuse further
+// mutations until a Save rotates in a fresh one.
+func TestRollbackTruncateFailurePoisonsJournal(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "g", `CREATE (a:N)-[:e]->(b:N)`)
+
+	offAppend := fault.Enable(FPJournalAppend, fault.Spec{Err: errors.New("injected append failure"), Times: 1})
+	offRollback := fault.Enable(FPRollbackTruncate, fault.Spec{Err: errors.New("injected truncate failure"), Times: 1})
+	if _, err := db.Query("g", `CREATE (c:N)`); err == nil {
+		t.Fatal("mutation with a failing journal append should error")
+	}
+	offAppend()
+	offRollback()
+	if fault.Hits(FPRollbackTruncate) == 0 {
+		t.Fatal("rollback truncate failpoint never fired")
+	}
+
+	if _, err := db.Query("g", `CREATE (d:N)`); err == nil || !strings.Contains(err.Error(), "journal unusable") {
+		t.Fatalf("poisoned journal should refuse mutations, got %v", err)
+	}
+	if err := db.Save(); err != nil {
+		t.Fatalf("Save should rotate the broken journal out: %v", err)
+	}
+	mustQuery(t, db, "g", `CREATE (d:N)`)
+
+	// The healed state must survive a crash-and-recover.
+	want := dumpAll(t, db)
+	sameState(t, want, dumpAll(t, reopen(t, dir)))
+}
+
+// TestRecoverTruncateFailureFailsOpen tears the journal tail on disk,
+// then makes the recovery-time truncate fail: Open must surface the
+// error rather than hand back a DB whose next append would land after
+// garbage. With the failpoint disarmed the same directory recovers.
+func TestRecoverTruncateFailureFailsOpen(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	db := reopen(t, dir)
+	mustQuery(t, db, "g", `CREATE (a:N)-[:e]->(b:N)`)
+	want := dumpAll(t, db)
+
+	// A torn tail: any trailing bytes short of a full record header.
+	f, err := os.OpenFile(journalPath(dir, 0), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	off := fault.Enable(FPRecoverTruncate, fault.Spec{Err: errors.New("injected truncate failure")})
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "torn journal tail") {
+		t.Fatalf("Open over a torn tail with truncation failing should error, got %v", err)
+	}
+	if fault.Hits(FPRecoverTruncate) == 0 {
+		t.Fatal("recover truncate failpoint never fired")
+	}
+	off()
+
+	db2 := reopen(t, dir)
+	sameState(t, want, dumpAll(t, db2))
+	mustQuery(t, db2, "g", `CREATE (c:N)`) // appends start on a clean boundary
+}
+
+// TestCloseSyncFailureSurfaces makes the final journal sync fail:
+// Close must report it (callers treat Close as the last flush), and
+// previously acknowledged data must still recover.
+func TestCloseSyncFailureSurfaces(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustQuery(t, db, "g", `CREATE (a:N)-[:e]->(b:N)`)
+	want := dumpAll(t, db)
+
+	off := fault.Enable(FPCloseSync, fault.Spec{Err: errors.New("injected sync failure")})
+	if err := db.Close(); err == nil || !strings.Contains(err.Error(), "close") {
+		t.Fatalf("Close with a failing sync should error, got %v", err)
+	}
+	off()
+
+	sameState(t, want, dumpAll(t, reopen(t, dir)))
+}

@@ -80,6 +80,13 @@ type GraphStore struct {
 	ctxHits  int                   // guarded by ctxMu
 }
 
+// cachedCtx pairs a prepared path context with the snapshot version
+// it was built against.
+//
+// immutable after publish (enforced by the snapfreeze analyzer): an
+// entry placed in ctxCache is read outside ctxMu-free fast paths of
+// future refactors; a version bump allocates a fresh entry instead of
+// rewriting this one.
 type cachedCtx struct {
 	ctx     *plan.PathCtx
 	version uint64
@@ -353,7 +360,7 @@ func (s *GraphStore) runMatch(q *cypher.Query, run *exec.Run) (*QueryResult, err
 // affecting this evaluation, and the result is exactly the answer for
 // the snapshot's version.
 func (s *GraphStore) runMatchSnap(snap *store.Snapshot, q *cypher.Query, run *exec.Run) (*QueryResult, error) {
-	planSpan := run.StartSpan("plan")
+	planSpan := run.StartSpan(obs.SpanPlan)
 	ctx, err := s.pathCtxFor(snap, q)
 	if err != nil {
 		planSpan.End()
@@ -365,7 +372,7 @@ func (s *GraphStore) runMatchSnap(snap *store.Snapshot, q *cypher.Query, run *ex
 	if err != nil {
 		return nil, err
 	}
-	execSpan := run.StartSpan("execute")
+	execSpan := run.StartSpan(obs.SpanExecute)
 	rs, err := p.ExecuteWith(exec.WithRun(run))
 	execSpan.End()
 	if err != nil {

@@ -111,8 +111,8 @@ func (db *DB) QueryContext(ctx context.Context, name, src string) (*QueryResult,
 	}
 	var trace *obs.Trace
 	if q.Profile {
-		trace = obs.NewTrace("query")
-		trace.AddSpan("parse", parseDur)
+		trace = obs.NewTrace(obs.SpanQuery)
+		trace.AddSpan(obs.SpanParse, parseDur)
 	}
 
 	// Pin ONE snapshot for both the cache key and the evaluation: the
@@ -126,11 +126,11 @@ func (db *DB) QueryContext(ctx context.Context, name, src string) (*QueryResult,
 		lookupStart := time.Now()
 		v, hit := db.cache.Get(rkey)
 		if trace != nil {
-			label := "cache.miss"
 			if hit {
-				label = "cache.hit"
+				trace.AddSpan(obs.SpanCacheHit, time.Since(lookupStart))
+			} else {
+				trace.AddSpan(obs.SpanCacheMiss, time.Since(lookupStart))
 			}
-			trace.AddSpan(label, time.Since(lookupStart))
 		}
 		if hit {
 			cached := v.(*QueryResult)

@@ -136,7 +136,7 @@ func writeSnapshotFile(dir string, seq uint64, stores map[string]*GraphStore) (e
 		if err != nil {
 			//lint:ignore errdrop best-effort cleanup of a temp file after the write already failed
 			_ = f.Close()
-			//lint:ignore errdrop ditto; the temp file is ignored by recovery either way
+			// Ditto; the temp file is ignored by recovery either way.
 			_ = os.Remove(tmp)
 		}
 	}()

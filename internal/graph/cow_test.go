@@ -105,3 +105,40 @@ func TestGraphCowCloneChain(t *testing.T) {
 		}
 	}
 }
+
+// TestGraphCloneFrozenIsolation: CloneFrozen yields the mutable next
+// version of a published, never-again-mutated snapshot. The clone may
+// be mutated and grown freely; the frozen original must stay
+// bit-for-bit identical (internal/store publishes snapshots on this
+// guarantee — see the `// immutable after publish` annotation there).
+func TestGraphCloneFrozenIsolation(t *testing.T) {
+	g := New(0)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "b", 0)
+	g.AddVertexLabel(0, "Person")
+	want := edgeSet(g)
+
+	c := g.CloneFrozen()
+	if !sameEdges(edgeSet(c), want) {
+		t.Fatalf("fresh frozen clone differs from original")
+	}
+
+	c.AddEdge(0, "a", 2)
+	c.AddEdge(2, "c", 1)
+	c.AddEdge(5, "a", 0) // grows to 6 vertices
+	c.AddVertexLabel(3, "Person")
+
+	if !sameEdges(edgeSet(g), want) {
+		t.Fatalf("frozen-clone mutation leaked into original:\n got %v\nwant %v", edgeSet(g), want)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("original grew to %d vertices", g.NumVertices())
+	}
+	if g.HasVertexLabel(3, "Person") {
+		t.Fatalf("clone vertex label leaked into frozen original")
+	}
+	if c.NumVertices() != 6 || !c.HasEdge(5, "a", 0) || !c.HasEdge(0, "a", 1) {
+		t.Fatalf("clone lost its own mutations")
+	}
+}

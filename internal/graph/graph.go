@@ -101,6 +101,30 @@ func (g *Graph) CowClone() *Graph {
 	return c
 }
 
+// CloneFrozen is CowClone for a graph that will never be mutated
+// again — the next-version transaction over a published store
+// snapshot. Edge matrices are cloned with matrix.CloneFrozen, which
+// leaves the source untouched (no shared-bitmap writes), so the
+// snapshot stays immutable after publish while the clone still copies
+// rows lazily. The caller owns the freeze promise; use CowClone when
+// both sides remain mutable.
+func (g *Graph) CloneFrozen() *Graph {
+	c := &Graph{
+		n:          g.n,
+		edges:      make(map[string]*matrix.Bool, len(g.edges)),
+		vlabels:    make(map[string]*matrix.Vector, len(g.vlabels)),
+		nedges:     g.nedges,
+		transposed: map[string]*matrix.Bool{},
+	}
+	for l, m := range g.edges {
+		c.edges[l] = m.CloneFrozen()
+	}
+	for l, vec := range g.vlabels {
+		c.vlabels[l] = vec.Clone()
+	}
+	return c
+}
+
 // AddEdge adds a directed edge src -> dst with the given label. Adding
 // an edge with an inverse label ("x_r") is rejected: inverse matrices
 // are derived, not stored.

@@ -106,6 +106,25 @@ func (m *Bool) CloneCOW() *Bool {
 	return c
 }
 
+// CloneFrozen returns a copy-on-write clone of a matrix that will
+// never be mutated again. Only the clone's rows are marked shared —
+// m itself is not written at all, so a published snapshot stays
+// bit-for-bit immutable while the clone copies rows lazily on its
+// first write. The caller owns the freeze promise: mutating m after
+// CloneFrozen corrupts the clone through the aliased rows (use
+// CloneCOW when both sides stay mutable).
+func (m *Bool) CloneFrozen() *Bool {
+	c := &Bool{nrows: m.nrows, ncols: m.ncols, nvals: m.nvals,
+		rows: make([][]uint32, m.nrows), shared: make([]bool, m.nrows)}
+	copy(c.rows, m.rows)
+	for i, row := range m.rows {
+		if len(row) > 0 {
+			c.shared[i] = true
+		}
+	}
+	return c
+}
+
 // Set makes entry (i, j) true.
 func (m *Bool) Set(i, j int) {
 	m.checkIndex(i, j)

@@ -150,3 +150,40 @@ func TestCloneCOWSemantics(t *testing.T) {
 		t.Fatalf("parent nvals = %d, want %d", got, want)
 	}
 }
+
+// TestCloneFrozenLeavesSourceUntouched: CloneFrozen is the
+// snapshot-publication clone — it must not write the source at all,
+// not even the shared bitmap, because the source is a published
+// snapshot that concurrent readers access with plain loads. (CloneCOW
+// deliberately writes both bitmaps; that is its contract for the
+// both-sides-mutable case, which the contrast check pins down.)
+func TestCloneFrozenLeavesSourceUntouched(t *testing.T) {
+	m := NewBoolFromPairs(4, 6, [][2]int{{0, 1}, {0, 3}, {2, 2}, {3, 5}})
+	want := snapshotRows(m)
+
+	c := m.CloneFrozen()
+	if m.shared != nil {
+		t.Fatalf("CloneFrozen wrote the source's shared bitmap: %v", m.shared)
+	}
+
+	// Contrast: CloneCOW still marks the source shared.
+	m2 := NewBoolFromPairs(2, 2, [][2]int{{0, 1}})
+	m2.CloneCOW()
+	if m2.shared == nil {
+		t.Fatal("CloneCOW no longer marks the source shared — its contract changed")
+	}
+
+	// Every clone mutation path leaves the frozen source bit-for-bit
+	// unchanged (the aliased rows are copied on first write).
+	c.Set(0, 2)
+	c.Set(3, 0)
+	c.Unset(2, 2)
+	c.SetRow(1, []uint32{0, 5})
+	rowsEqual(t, m, want, "frozen source after clone mutations")
+	if !c.Get(0, 2) || !c.Get(3, 0) || c.Get(2, 2) || !c.Get(1, 5) {
+		t.Fatal("clone lost its own mutations")
+	}
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+}

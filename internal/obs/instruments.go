@@ -1,5 +1,7 @@
 package obs
 
+import "strconv"
+
 // The instrument catalog (DESIGN.md §10). Naming convention:
 // <layer>.<subject>.<unit-ish suffix>; the INFO command groups by the
 // first dotted component (kernel → kernels section, gdb → gdb,
@@ -74,3 +76,33 @@ const (
 	KeyAddNNZ       = "kernel.add.nnz"
 	KeyTransposeOps = "kernel.transpose.ops"
 )
+
+// Layer prefixes: the first dotted component of every instrument name
+// must be one of these, which is what the INFO command sections by.
+// The obscatalog analyzer enforces both directions.
+const (
+	LayerKernel   = "kernel"
+	LayerGovernor = "governor"
+	LayerGdb      = "gdb"
+	LayerDur      = "dur"
+	LayerCache    = "cache"
+	LayerResp     = "resp"
+)
+
+// Span names of the query trace tree (DESIGN.md §10). Free-string span
+// names drift away from what PROFILE consumers grep for; every span a
+// trace opens must use one of these or an obs helper like SpanRound.
+const (
+	SpanQuery     = "query"     // root span of one GRAPH.QUERY
+	SpanParse     = "parse"     // Cypher parse + plan build
+	SpanPlan      = "plan"      // plan-context resolution (grammar, index warmup)
+	SpanExecute   = "execute"   // fixpoint evaluation
+	SpanCacheHit  = "cache.hit" // result served from the version-keyed cache
+	SpanCacheMiss = "cache.miss"
+	SpanDiffTest  = "difftest" // root span of a differential-harness run
+)
+
+// SpanRound names the n-th fixpoint round's span; evaluators must use
+// it instead of hand-rolled fmt.Sprintf so the name family stays
+// greppable and catalog-checked.
+func SpanRound(n int) string { return "round " + strconv.Itoa(n) }

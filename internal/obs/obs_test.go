@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -245,5 +246,30 @@ func TestHTTPHandler(t *testing.T) {
 	}
 	if got["h.c"] != 9 || got["h.g"] != -2 {
 		t.Fatalf("endpoint body wrong: %v", got)
+	}
+}
+
+// TestInstrumentLayerDiscipline mirrors the obscatalog analyzer's
+// layer check at runtime: every name registered in the default
+// catalog must start with a declared Layer* prefix, or the RESP INFO
+// command would silently file it under the wrong section.
+func TestInstrumentLayerDiscipline(t *testing.T) {
+	layers := map[string]bool{
+		LayerKernel:   true,
+		LayerGovernor: true,
+		LayerGdb:      true,
+		LayerDur:      true,
+		LayerCache:    true,
+		LayerResp:     true,
+	}
+	snap := Default.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("default registry is empty — instruments.go no longer registers at init?")
+	}
+	for _, key := range snap.Keys() {
+		prefix, _, _ := strings.Cut(key, ".")
+		if !layers[prefix] {
+			t.Errorf("instrument %q has undeclared layer %q — add a Layer* constant or rename it", key, prefix)
+		}
 	}
 }

@@ -105,7 +105,7 @@ func TestHostileOversizedInlineLine(t *testing.T) {
 	// be lost to a TCP reset, so health of the next connection is the
 	// hard assertion.
 	payload := bytes.Repeat([]byte{'x'}, maxInlineLen+4096)
-	//lint:ignore errdrop the server may close mid-write; the write error is part of the scenario
+	// The server may close mid-write; the write error is part of the scenario.
 	_, _ = conn.Write(payload)
 	reply, _ := io.ReadAll(conn)
 	if len(reply) > 0 && !strings.Contains(string(reply), "protocol error") {

@@ -519,13 +519,13 @@ var infoSectionNames = []string{"server", "gdb", "cache", "kernels", "durability
 func infoSection(key string) string {
 	prefix, _, _ := strings.Cut(key, ".")
 	switch prefix {
-	case "kernel":
+	case obs.LayerKernel:
 		return "kernels"
-	case "gdb":
+	case obs.LayerGdb:
 		return "gdb"
-	case "cache":
+	case obs.LayerCache:
 		return "cache"
-	case "dur":
+	case obs.LayerDur:
 		return "durability"
 	}
 	return "server"

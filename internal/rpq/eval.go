@@ -49,7 +49,7 @@ func EvalPairs(g *graph.Graph, n *NFA, src *matrix.Vector, opts ...exec.Option) 
 	for changed := true; changed; {
 		changed = false
 		rounds++
-		span := run.StartSpan(fmt.Sprintf("round %d", rounds))
+		span := run.StartSpan(obs.SpanRound(rounds))
 		for _, e := range n.Eps {
 			if run.Add(r[e[1]], r[e[0]]) {
 				changed = true

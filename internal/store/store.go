@@ -32,6 +32,10 @@ var storeIDs atomic.Uint64
 // Snapshot is one immutable version of a graph plus its node
 // properties. All accessors are safe for concurrent use; callers must
 // not mutate the returned graph or property maps.
+//
+// immutable after publish (enforced by the snapfreeze analyzer):
+// once Update stores a Snapshot in st.cur, readers access it with
+// plain loads, so no field may ever be written again.
 type Snapshot struct {
 	storeID uint64
 	version uint64
@@ -152,7 +156,10 @@ func (st *Store) Update(fn func(tx *Tx) error) (*Snapshot, error) {
 	defer st.wmu.Unlock()
 	cur := st.cur.Load()
 	tx := &Tx{
-		g:     cur.g.CowClone(),
+		// CloneFrozen, not CowClone: cur is published — readers hold
+		// it — and must stay bit-for-bit immutable; CowClone would
+		// write its shared bitmap.
+		g:     cur.g.CloneFrozen(),
 		props: make(map[int]map[string]cypher.Value, len(cur.props)),
 		owned: map[int]bool{},
 	}
