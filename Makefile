@@ -7,10 +7,10 @@ GO ?= go
 # module.
 RACE_PKGS = ./internal/gdb ./internal/resp ./internal/cfpq ./internal/exec ./internal/store ./internal/analysis/... ./cmd/mscfpq-lint
 
-.PHONY: check all build vet test race race-quick cover bench bench-quick bench-smoke experiments fuzz fuzz-smoke diff-test diff-test-slow chaos lint lint-tools clean
+.PHONY: check all build vet test race race-quick cover bench bench-quick bench-smoke experiments fuzz fuzz-smoke diff-test diff-test-slow chaos chaos-repl lint lint-tools clean
 
 # Default: what CI runs on every change.
-check: build vet lint test race diff-test chaos bench-smoke
+check: build vet lint test race diff-test chaos chaos-repl bench-smoke
 
 all: build test
 
@@ -48,6 +48,21 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestHostile|TestDispatchPanic|TestBusyShedding|TestShutdownRaces|TestMaxConns|TestIdleTimeout|TestReadBoundedLine|TestStress|TestStoreConcurrentPinUpdate' ./internal/gdb ./internal/resp ./internal/fault ./internal/store
 	$(GO) build -tags=nofault ./...
 	$(GO) test -tags=nofault -count=1 ./internal/fault
+
+# Replication chaos suite (see TESTING.md and DESIGN.md §13): the
+# whole internal/repl package race-enabled — leader/follower pairs
+# over real sockets, every repl.* failpoint struck with
+# error/torn/panic specs on both sides, kill-restart of either node —
+# plus the gdb replication primitives (read-only mode, record
+# scanning, mirrored apply/rotate/install, pin-vs-prune) and the
+# client-side failover surface (redial, leader hints, routing). The
+# nofault build proves the replication failpoints also compile to
+# no-ops for release builds.
+chaos-repl:
+	$(GO) test -race -count=1 ./internal/repl
+	$(GO) test -race -count=1 -run 'TestReadOnlyReplica|TestPinSegment|TestScanRecords|TestDecodeFramed|TestReplApply|TestReplRotate|TestReplInstall|TestWatchJournal' ./internal/gdb
+	$(GO) test -race -count=1 -run 'TestIsBrokenConn|TestLeaderHint|TestDoRetry|TestRoutingClient|TestServerReadOnly' ./internal/resp
+	$(GO) build -tags=nofault ./internal/repl
 
 cover:
 	$(GO) test -cover ./...

@@ -29,6 +29,7 @@ import (
 	"mscfpq/internal/gdb"
 	"mscfpq/internal/graph"
 	"mscfpq/internal/obs"
+	"mscfpq/internal/repl"
 	"mscfpq/internal/resp"
 )
 
@@ -60,6 +61,7 @@ func run() error {
 		idleTimeout   = flag.Duration("idle-timeout", 0, "close connections idle for this long (0 = never)")
 		metricsAddr   = flag.String("metrics-addr", "", "HTTP address serving the metrics snapshot as JSON (empty = disabled)")
 		metricsDump   = flag.Duration("metrics-dump", 0, "log a metrics snapshot this often (0 = never)")
+		replicaOf     = flag.String("replica-of", "", "host:port of a leader to replicate; this server becomes a read-only follower")
 		loads         listFlag
 		seeds         listFlag
 	)
@@ -67,9 +69,21 @@ func run() error {
 	flag.Var(&seeds, "seed", "dataset graph to generate, name[@scale] (repeatable)")
 	flag.Parse()
 
+	if *replicaOf != "" {
+		if len(loads) > 0 || len(seeds) > 0 {
+			return fmt.Errorf("-replica-of is incompatible with -load/-seed: a follower's graphs come from the leader")
+		}
+		// A follower's snapshot rotation is driven by the leader's
+		// stream; an out-of-band auto-save would desynchronize the
+		// mirrored file sequence.
+		*saveInterval = 0
+	}
 	db, err := buildDB(*dataDir, loads, seeds, log.Default())
 	if err != nil {
 		return err
+	}
+	if *replicaOf != "" {
+		db.SetReplicaSource(*replicaOf)
 	}
 	db.SetPolicy(gdb.Policy{
 		DefaultTimeout: *queryTimeout,
@@ -85,11 +99,38 @@ func run() error {
 	srv.Logger = log.Default()
 	srv.MaxConns = *maxConns
 	srv.IdleTimeout = *idleTimeout
+
+	// Replication roles: a follower runs a stream loop pulling from its
+	// leader and serves reads only; a durable leader answers SYNC so
+	// followers can attach. An in-memory leader has no journal to ship
+	// and stays standalone.
+	var replica *repl.Replica
+	replCtx, replStop := context.WithCancel(context.Background())
+	defer replStop()
+	if *replicaOf != "" {
+		replica = repl.New(db, *replicaOf)
+		srv.ReplInfo = replica.InfoLines
+	} else if db.Durable() {
+		hub, err := repl.NewHub(db)
+		if err != nil {
+			return err
+		}
+		srv.SyncHandler = hub.HandleSync
+		srv.ReplInfo = hub.InfoLines
+	}
+
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err
 	}
 	log.Printf("gsql-server listening on %s", bound)
+	if replica != nil {
+		go func() {
+			// Run retries internally and returns only the shutdown cancellation.
+			_ = replica.Run(replCtx)
+		}()
+		log.Printf("gsql-server replicating from %s", *replicaOf)
+	}
 
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)
@@ -139,10 +180,14 @@ func run() error {
 		}
 		// A durable store cuts a final snapshot and detaches cleanly, so
 		// the next boot recovers from the snapshot instead of a long
-		// journal replay.
+		// journal replay. A follower skips the snapshot — its rotation
+		// is lockstep with the leader's — and just detaches.
+		replStop()
 		if db.Durable() {
-			if err := db.Save(); err != nil {
-				return fmt.Errorf("final snapshot: %w", err)
+			if db.ReplicaSource() == "" {
+				if err := db.Save(); err != nil {
+					return fmt.Errorf("final snapshot: %w", err)
+				}
 			}
 			if err := db.Close(); err != nil {
 				return err

@@ -27,7 +27,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name:            "failcover",
 	Doc:             "every Sync/Rename/Write/Truncate on a durability path must flow through a declared failpoint (fault.Inject before it, fault.Writer around it, or covered callers)",
-	DefaultScope:    []string{"internal/gdb", "internal/fault", "internal/resp"},
+	DefaultScope:    []string{"internal/gdb", "internal/fault", "internal/resp", "internal/repl"},
 	IgnoreTestFiles: true,
 	Run:             run,
 }

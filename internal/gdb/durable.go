@@ -38,9 +38,19 @@ type durability struct {
 	// always matches journal order — the order crash replay uses.
 	mu     sync.Mutex
 	seq    uint64   // guarded by mu: sequence of the live snapshot/journal pair
+	off    int64    // guarded by mu: byte length of the live journal's intact record prefix
 	jf     *os.File // guarded by mu: open journal, nil after Close
 	closed bool     // guarded by mu
 	broken error    // guarded by mu: set when a failed append could not be rolled back; a successful Save clears it
+
+	// watch is closed (and replaced) on every journal append, rotation,
+	// or snapshot install, so replication tails can block for new data
+	// without polling.
+	watch chan struct{} // guarded by mu
+
+	// pins holds sequences whose snapshot/journal files a live reader
+	// (a replication tail mid-transfer) still needs; prune spares them.
+	pins map[uint64]int // guarded by mu
 
 	// Auto-saver lifecycle: kick wakes it on policy changes, stop ends
 	// it, done closes when it exits.
@@ -71,10 +81,12 @@ func Open(dir string) (*DB, error) {
 
 	db := New()
 	dur := &durability{
-		dir:  dir,
-		kick: make(chan struct{}, 1),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		dir:   dir,
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		watch: make(chan struct{}),
+		pins:  map[uint64]int{},
 	}
 
 	seq, stores, err := loadNewestSnapshot(dir)
@@ -85,7 +97,8 @@ func Open(dir string) (*DB, error) {
 	db.graphs = stores
 	db.mu.Unlock()
 
-	if err := dur.replayInto(db, seq); err != nil {
+	good, err := dur.replayInto(db, seq)
+	if err != nil {
 		return nil, err
 	}
 
@@ -94,6 +107,7 @@ func Open(dir string) (*DB, error) {
 		return nil, fmt.Errorf("gdb: open journal: %w", err)
 	}
 	dur.seq = seq
+	dur.off = good
 	dur.jf = jf
 	db.dur = dur
 	go db.autoSaver()
@@ -202,27 +216,28 @@ func syncJournalOnClose(f *os.File) error {
 
 // replayInto re-applies the journal paired with snapshot seq and
 // truncates any torn tail so the next append starts on a record
-// boundary.
-func (dur *durability) replayInto(db *DB, seq uint64) error {
+// boundary. It returns the byte length of the intact record prefix —
+// the recovered journal offset a replication handshake resumes from.
+func (dur *durability) replayInto(db *DB, seq uint64) (int64, error) {
 	path := journalPath(dur.dir, seq)
 	ops, good, torn, err := readJournal(path)
 	if err != nil {
-		return fmt.Errorf("gdb: journal replay: %w", err)
+		return 0, fmt.Errorf("gdb: journal replay: %w", err)
 	}
 	for _, op := range ops {
 		if err := db.applyOp(op); err != nil {
-			return fmt.Errorf("gdb: journal replay: %w", err)
+			return 0, fmt.Errorf("gdb: journal replay: %w", err)
 		}
 	}
 	if torn {
 		if err := fault.Inject(FPRecoverTruncate); err != nil {
-			return fmt.Errorf("gdb: truncating torn journal tail: %w", err)
+			return 0, fmt.Errorf("gdb: truncating torn journal tail: %w", err)
 		}
 		if err := os.Truncate(path, good); err != nil {
-			return fmt.Errorf("gdb: truncating torn journal tail: %w", err)
+			return 0, fmt.Errorf("gdb: truncating torn journal tail: %w", err)
 		}
 	}
-	return nil
+	return good, nil
 }
 
 // applyOp applies one journaled mutation during replay.
@@ -272,6 +287,9 @@ func (db *DB) applyOp(op journalOp) error {
 // append is fsynced before apply runs: an acknowledged mutation is
 // always recoverable.
 func (db *DB) commit(op journalOp, apply func()) error {
+	if err := db.readOnlyErr(); err != nil {
+		return err
+	}
 	if db.dur == nil {
 		apply()
 		return nil
@@ -290,7 +308,8 @@ func (db *DB) commit(op journalOp, apply func()) error {
 	if err != nil {
 		return fmt.Errorf("gdb: journal append: %w", err)
 	}
-	if err := appendJournal(db.dur.jf, op); err != nil {
+	n, err := appendJournal(db.dur.jf, op)
+	if err != nil {
 		// Roll the partial record back: replay stops at the first
 		// torn record, so leaving its bytes in place would strand
 		// every record appended after it. If even the rollback
@@ -301,8 +320,16 @@ func (db *DB) commit(op journalOp, apply func()) error {
 		}
 		return err
 	}
+	db.dur.off += n
+	db.dur.notifyLocked()
 	apply()
 	return nil
+}
+
+// notifyLocked wakes every journal watcher. Caller holds dur.mu.
+func (dur *durability) notifyLocked() {
+	close(dur.watch)
+	dur.watch = make(chan struct{})
 }
 
 // Save cuts a snapshot: the full database image is written atomically
@@ -310,8 +337,19 @@ func (db *DB) commit(op journalOp, apply func()) error {
 // stale snapshots/journals are pruned (the previous snapshot and its
 // paired journal are kept as a fallback against bit rot). Concurrent
 // mutations block for the duration; queries do not. This is the
-// GRAPH.SAVE command.
+// GRAPH.SAVE command. On a replica, rotation is driven by the
+// replication stream (ReplRotate) so the local file sequence stays in
+// lockstep with the leader's; an out-of-band Save is refused.
 func (db *DB) Save() error {
+	if err := db.readOnlyErr(); err != nil {
+		return err
+	}
+	return db.save()
+}
+
+// save is Save without the replica-mode gate — the shared path for
+// GRAPH.SAVE on a leader and lockstep rotation on a follower.
+func (db *DB) save() error {
 	if db.dur == nil {
 		return ErrNotDurable
 	}
@@ -389,11 +427,15 @@ func (db *DB) Save() error {
 	old := dur.jf
 	dur.jf = nf
 	dur.seq = next
+	dur.off = 0
 	dur.broken = nil
+	dur.notifyLocked()
 	dur.mu.Unlock()
 	obs.DurRotations.Inc()
-	if err := old.Close(); err != nil {
-		return fmt.Errorf("gdb: journal rotate: closing previous journal: %w", err)
+	if old != nil {
+		if err := old.Close(); err != nil {
+			return fmt.Errorf("gdb: journal rotate: closing previous journal: %w", err)
+		}
 	}
 	dur.prune(next)
 	return nil
@@ -426,24 +468,32 @@ func (dur *durability) prepareJournal(next uint64) (*os.File, error) {
 // only the journal would silently drop them — replay treats a missing
 // file as empty). Sequence 0 has no snapshot (it is the empty genesis
 // store, unusable as a fallback once snap-1 exists), so at current 1
-// only the live pair is kept. Best-effort: a leftover file wastes
-// disk but cannot corrupt recovery, which always prefers the newest
-// valid pair.
+// only the live pair is kept. Sequences pinned by a live reader (a
+// replication tail mid-transfer, see PinSegment) are spared no matter
+// how old — deleting a wal segment under an open tail would tear the
+// stream. Best-effort: a leftover file wastes disk but cannot corrupt
+// recovery, which always prefers the newest valid pair.
 func (dur *durability) prune(current uint64) {
 	entries, err := os.ReadDir(dur.dir)
 	if err != nil {
 		return
 	}
+	dur.mu.Lock()
+	pinned := make(map[uint64]bool, len(dur.pins))
+	for seq := range dur.pins {
+		pinned[seq] = true
+	}
+	dur.mu.Unlock()
 	keep := current // oldest sequence retained
 	if current >= 2 {
 		keep = current - 1
 	}
 	for _, e := range entries {
-		if seq, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && seq < keep {
+		if seq, ok := parseSeq(e.Name(), "snap-", ".snap"); ok && seq < keep && !pinned[seq] {
 			// Best-effort pruning; stale snapshots are harmless.
 			_ = os.Remove(filepath.Join(dur.dir, e.Name()))
 		}
-		if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok && seq < keep {
+		if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok && seq < keep && !pinned[seq] {
 			// Best-effort pruning; retired journals are harmless.
 			_ = os.Remove(filepath.Join(dur.dir, e.Name()))
 		}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"mscfpq/internal/cypher"
 	"mscfpq/internal/exec"
@@ -43,6 +44,11 @@ type DB struct {
 	// dur is the crash-safety layer, nil for in-memory databases (New);
 	// set once by Open before the DB is shared, immutable afterwards.
 	dur *durability
+
+	// replicaSrc is the leader address when this database is a read-only
+	// replica ("" / nil = leader). Atomic so the hot commit path reads it
+	// without a lock; only the replication loop stores it.
+	replicaSrc atomic.Pointer[string]
 }
 
 // slowLogCapacity bounds the slow-query ring (matches the Redis

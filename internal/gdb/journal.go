@@ -98,26 +98,27 @@ func decodeJournalOp(payload []byte) (journalOp, error) {
 }
 
 // appendJournal writes one record to the open journal file and fsyncs
-// it. The caller holds the durability journal lock.
-func appendJournal(f *os.File, o journalOp) error {
+// it, returning the record's framed length so the caller can advance
+// its journal offset. The caller holds the durability journal lock.
+func appendJournal(f *os.File, o journalOp) (int64, error) {
 	if err := fault.Inject(FPJournalAppend); err != nil {
-		return fmt.Errorf("gdb: journal append: %w", err)
+		return 0, fmt.Errorf("gdb: journal append: %w", err)
 	}
 	rec := o.encode()
 	if _, err := fault.Writer(FPJournalAppend, f).Write(rec); err != nil {
-		return fmt.Errorf("gdb: journal append: %w", err)
+		return 0, fmt.Errorf("gdb: journal append: %w", err)
 	}
 	if err := fault.Inject(FPJournalSync); err != nil {
-		return fmt.Errorf("gdb: journal sync: %w", err)
+		return 0, fmt.Errorf("gdb: journal sync: %w", err)
 	}
 	syncStart := time.Now()
 	if err := f.Sync(); err != nil {
-		return fmt.Errorf("gdb: journal sync: %w", err)
+		return 0, fmt.Errorf("gdb: journal sync: %w", err)
 	}
 	obs.DurFsyncLatencyUS.Observe(time.Since(syncStart).Microseconds())
 	obs.DurJournalAppends.Inc()
 	obs.DurJournalBytes.Add(int64(len(rec)))
-	return nil
+	return int64(len(rec)), nil
 }
 
 // readJournal scans the journal at path, returning every intact record

@@ -57,6 +57,17 @@ var (
 	RespConnsRefused = Default.Counter("resp.conns.refused")
 	RespBusyShed     = Default.Counter("resp.busy_shed")
 	RespCommands     = Default.Counter("resp.commands")
+
+	// Replication (internal/repl): the leader side counts what it ships,
+	// the follower side counts what it applies and how often the stream
+	// had to be rebuilt.
+	ReplBytesShipped       = Default.Counter("repl.shipped.bytes")
+	ReplRecordsShipped     = Default.Counter("repl.shipped.records")
+	ReplSnapshotBootstraps = Default.Counter("repl.snapshot.bootstraps")
+	ReplReconnects         = Default.Counter("repl.reconnects")
+	ReplRecordsApplied     = Default.Counter("repl.applied.records")
+	ReplReplicasConnected  = Default.Gauge("repl.replicas.connected")
+	ReplLagSeconds         = Default.Gauge("repl.lag_seconds")
 )
 
 // RespCmdLatency returns the latency histogram for one RESP command.
@@ -87,6 +98,7 @@ const (
 	LayerDur      = "dur"
 	LayerCache    = "cache"
 	LayerResp     = "resp"
+	LayerRepl     = "repl"
 )
 
 // Span names of the query trace tree (DESIGN.md §10). Free-string span

@@ -261,6 +261,7 @@ func TestInstrumentLayerDiscipline(t *testing.T) {
 		LayerDur:      true,
 		LayerCache:    true,
 		LayerResp:     true,
+		LayerRepl:     true,
 	}
 	snap := Default.Snapshot()
 	if len(snap) == 0 {

@@ -1,0 +1,130 @@
+// Package repl implements WAL-shipping replication for the graph
+// database (DESIGN.md §13): a leader Hub streams its op journal to
+// follower Replicas over the RESP protocol, bootstrapping fresh or
+// too-far-behind followers with a full snapshot transfer. A follower's
+// data directory is a byte-identical mirror of the leader's — same
+// sequence numbers, same journal bytes — so follower crash recovery is
+// ordinary gdb.Open and follower state is always a prefix of leader
+// state.
+//
+// Wire protocol, all frames RESP arrays. The follower opens with the
+// handshake command
+//
+//	SYNC <replid> <seq> <off>
+//
+// where replid identifies the leader history the follower last
+// mirrored ("?" = none) and (seq, off) is its recovered journal
+// position. The leader replies with one of
+//
+//	["CONTINUE", seq, off]        incremental catch-up from (seq, off)
+//	["FULLSYNC", replid, seq]     snapshot bootstrap under sequence seq
+//
+// After FULLSYNC the leader ships the snapshot file verbatim as
+// ["SNAP", chunk]* frames closed by ["SNAPEND", totalBytes]. Both
+// paths then enter the one-way record stream:
+//
+//	["REC", seq, raw]    one framed journal record, exactly the bytes
+//	                     the leader's journal holds (CRC included)
+//	["ROTATE", newSeq]   the leader rotated; the follower cuts its own
+//	                     snapshot under newSeq and continues at off 0
+//	["PING", seq, off, unixMicro]   leader liveness + current position,
+//	                                sent when the stream idles
+//
+// Records are shipped strictly in journal order and only up to the
+// leader's committed (fsynced and acknowledged) offset, so a follower
+// never applies a record the leader could still roll back.
+//
+// Limitation: a REC frame carries one journal record as a RESP bulk
+// string, so records beyond the protocol's bulk-string bound (16 MiB)
+// cannot be shipped; such a stream fails and the follower falls back
+// to snapshot bootstraps.
+package repl
+
+import (
+	"fmt"
+	"strconv"
+
+	"mscfpq/internal/fault"
+	"mscfpq/internal/resp"
+)
+
+// Frame type tags (first array element of every leader→follower frame).
+const (
+	frameContinue = "CONTINUE"
+	frameFullsync = "FULLSYNC"
+	frameSnap     = "SNAP"
+	frameSnapEnd  = "SNAPEND"
+	frameRec      = "REC"
+	frameRotate   = "ROTATE"
+	framePing     = "PING"
+)
+
+// noHistory is the replid a follower sends when it has no mirrored
+// history to resume (fresh directory, non-durable, or mid-install
+// crash); it always provokes a FULLSYNC.
+const noHistory = "?"
+
+// snapChunk is the SNAP frame payload size. Well under the RESP
+// bulk-string bound so framing never fails on a healthy stream.
+const snapChunk = 64 << 10
+
+// Failpoints on every replication protocol step, named by which side
+// they strike. The leader's send path is tearable (fault.Writer wraps
+// the socket); the follower's snapshot receive and journal append are
+// torn/failed through the gdb repl.install.*/repl.apply.* points.
+const (
+	// Leader side.
+	FPSend         = "repl.send"
+	FPFullsyncSave = "repl.fullsync.save"
+	FPFullsyncRead = "repl.fullsync.read"
+	// Follower side.
+	FPHandshake   = "repl.handshake"
+	FPApply       = "repl.apply"
+	FPRotate      = "repl.rotate"
+	FPStateWrite  = "repl.state.write"
+	FPStateRename = "repl.state.rename"
+)
+
+var _ = fault.Declare(FPSend, FPFullsyncSave, FPFullsyncRead,
+	FPHandshake, FPApply, FPRotate, FPStateWrite, FPStateRename)
+
+// position is a journal stream position: the snapshot/journal pair's
+// sequence and a byte offset into that journal's record prefix.
+type position struct {
+	seq uint64
+	off int64
+}
+
+func (p position) String() string { return fmt.Sprintf("%d:%d", p.seq, p.off) }
+
+// before reports strict stream order: rotation bumps seq and resets
+// off, so positions order lexicographically.
+func (p position) before(q position) bool {
+	return p.seq < q.seq || (p.seq == q.seq && p.off < q.off)
+}
+
+// frameTag returns the type tag of a stream frame.
+func frameTag(v resp.Value) (string, error) {
+	if v.Kind != resp.Array || len(v.Array) == 0 {
+		return "", fmt.Errorf("repl: malformed frame (kind %d, %d elements)", v.Kind, len(v.Array))
+	}
+	return v.Array[0].Str, nil
+}
+
+// frameInt extracts element i of a frame as an integer (the encoder
+// sends RESP integers; tolerate decimal bulk strings for symmetry with
+// the textual handshake).
+func frameInt(v resp.Value, i int) (int64, error) {
+	if i >= len(v.Array) {
+		return 0, fmt.Errorf("repl: frame %s too short (%d elements)", v.Array[0].Str, len(v.Array))
+	}
+	e := v.Array[i]
+	if e.Kind == resp.Integer {
+		return e.Int, nil
+	}
+	n, err := strconv.ParseInt(e.Str, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("repl: frame %s element %d is not a number: %w", v.Array[0].Str, i, err)
+	}
+	return n, nil
+}

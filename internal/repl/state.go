@@ -1,0 +1,136 @@
+package repl
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mscfpq/internal/fault"
+)
+
+// Replication identity files, both living in the database's data
+// directory next to the snapshots and journals they describe:
+//
+//   - "replid" (leader): a random 32-hex token minted once per history.
+//     Offsets are only meaningful within one history, so the handshake
+//     carries it and a mismatch forces a full sync instead of silently
+//     splicing two unrelated journals together.
+//   - "replsrc" (follower): the leader replid this directory mirrors.
+//     The follower deletes it BEFORE installing a streamed snapshot and
+//     rewrites it after, so a crash mid-install leaves a directory that
+//     claims no history and bootstraps cleanly.
+
+const (
+	replidFile  = "replid"
+	replsrcFile = "replsrc"
+)
+
+// loadOrCreateReplID returns the directory's history identity, minting
+// and persisting a fresh one on first use.
+func loadOrCreateReplID(dir string) (string, error) {
+	path := filepath.Join(dir, replidFile)
+	if b, err := os.ReadFile(path); err == nil {
+		id := strings.TrimSpace(string(b))
+		if id != "" {
+			return id, nil
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return "", fmt.Errorf("repl: reading %s: %w", path, err)
+	}
+	raw := make([]byte, 16)
+	if _, err := rand.Read(raw); err != nil {
+		return "", fmt.Errorf("repl: minting replid: %w", err)
+	}
+	id := hex.EncodeToString(raw)
+	if err := writeStateFile(dir, replidFile, id); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// loadSource returns the leader replid this follower directory mirrors,
+// or noHistory when none is recorded (fresh directory, cleared by a
+// bootstrap in progress, or no directory at all).
+func loadSource(dir string) string {
+	if dir == "" {
+		return noHistory
+	}
+	b, err := os.ReadFile(filepath.Join(dir, replsrcFile))
+	if err != nil {
+		return noHistory
+	}
+	id := strings.TrimSpace(string(b))
+	if id == "" {
+		return noHistory
+	}
+	return id
+}
+
+// clearSource removes the follower's recorded history identity; called
+// before a snapshot install so a crash mid-install degrades to another
+// full sync, never to a directory claiming a history it only half
+// holds.
+func clearSource(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	err := os.Remove(filepath.Join(dir, replsrcFile))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("repl: clearing %s: %w", replsrcFile, err)
+	}
+	return nil
+}
+
+// saveSource records the leader replid after a completed install or
+// before tailing an adopted history.
+func saveSource(dir, replid string) error {
+	if dir == "" {
+		return nil
+	}
+	return writeStateFile(dir, replsrcFile, replid)
+}
+
+// writeStateFile atomically replaces dir/name with content: temp file,
+// fsync, rename. State files are tiny and rewritten rarely; a torn
+// write must still never be readable as a valid identity.
+func writeStateFile(dir, name, content string) error {
+	if err := fault.Inject(FPStateWrite); err != nil {
+		return fmt.Errorf("repl: state write: %w", err)
+	}
+	f, err := os.CreateTemp(dir, name+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("repl: state write: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(step string, err error) error {
+		// Best-effort cleanup after the state write already failed.
+		_ = f.Close()
+		// Ditto; a stale temp file is inert.
+		_ = os.Remove(tmp)
+		return fmt.Errorf("repl: state %s: %w", step, err)
+	}
+	if _, err := fault.Writer(FPStateWrite, f).Write([]byte(content + "\n")); err != nil {
+		return fail("write", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		return fail("close", err)
+	}
+	if err := fault.Inject(FPStateRename); err != nil {
+		// The temp file is inert; recovery ignores it.
+		_ = os.Remove(tmp)
+		return fmt.Errorf("repl: state rename: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		// Ditto.
+		_ = os.Remove(tmp)
+		return fmt.Errorf("repl: state rename: %w", err)
+	}
+	return nil
+}

@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net"
 	"strings"
+	"syscall"
 	"time"
 )
 
@@ -29,9 +31,45 @@ func IsTransient(err error) bool {
 	return errors.As(err, &se) && se.Transient()
 }
 
+// IsBrokenConn reports whether err looks like a connection that died
+// under the client — EOF mid-reply, a reset or closed socket, a broken
+// pipe — rather than a reply the server chose to send. DoRetry treats
+// these as transient and redials: a server restart (failover,
+// redeploy) otherwise fails every pooled client's next call.
+func IsBrokenConn(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne *net.OpError
+	return errors.As(err, &ne)
+}
+
+// LeaderHint extracts the leader address from a replica's READONLY
+// rejection ("READONLY replica of <addr>; ..."), so a client that
+// wrote to a follower can re-route.
+func LeaderHint(err error) (string, bool) {
+	var se *ServerError
+	if !errors.As(err, &se) {
+		return "", false
+	}
+	rest, ok := strings.CutPrefix(se.Msg, "READONLY replica of ")
+	if !ok {
+		return "", false
+	}
+	addr, _, _ := strings.Cut(rest, ";")
+	addr = strings.TrimSpace(addr)
+	return addr, addr != ""
+}
+
 // Client is a minimal RESP client for the graph server. Not safe for
 // concurrent use; open one client per goroutine.
 type Client struct {
+	addr string
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
@@ -43,11 +81,26 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("resp: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return &Client{addr: addr, conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// redial replaces a broken connection with a fresh one to the same
+// address.
+func (c *Client) redial() error {
+	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("resp: redial %s: %w", c.addr, err)
+	}
+	// Best-effort close of the dead socket; it already failed.
+	_ = c.conn.Close()
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.w = bufio.NewWriter(conn)
+	return nil
+}
 
 // Do sends a command and returns the raw reply. An error reply becomes
 // a Go error.
@@ -72,17 +125,34 @@ func (c *Client) Do(args ...string) (Value, error) {
 	return reply, nil
 }
 
-// DoRetry sends a command like Do but retries transient (BUSY
-// overload) refusals with jittered exponential backoff, up to
-// attempts sends in total. Non-transient errors — protocol failures,
-// closed connections, ordinary ERR replies — return immediately: only
-// the server's explicit "try again later" is worth the wait.
+// DoRetry sends a command like Do but retries transient failures with
+// jittered exponential backoff, up to attempts sends in total. Two
+// failure shapes are transient: the server's BUSY overload refusal,
+// and a connection that broke under the call (EOF, reset, closed
+// socket — e.g. a server restart), which is retried over a fresh dial.
+// Other errors — protocol failures, ordinary ERR replies — return
+// immediately. Caveat: a broken-connection retry re-sends the command,
+// so a non-idempotent write that died after reaching the server can
+// apply twice; route such writes through Do if that matters.
 func (c *Client) DoRetry(attempts int, args ...string) (Value, error) {
 	backoff := 2 * time.Millisecond
 	const maxBackoff = 500 * time.Millisecond
 	for attempt := 1; ; attempt++ {
 		v, err := c.Do(args...)
-		if err == nil || attempt >= attempts || !IsTransient(err) {
+		if err == nil || attempt >= attempts {
+			return v, err
+		}
+		switch {
+		case IsTransient(err):
+		case IsBrokenConn(err):
+			if rerr := c.redial(); rerr != nil {
+				// The server may still be coming back up; wait out the
+				// backoff and try dialing again on the next attempt.
+				if attempt+1 >= attempts {
+					return Value{}, rerr
+				}
+			}
+		default:
 			return v, err
 		}
 		// Full jitter: a uniform draw over the window keeps shed

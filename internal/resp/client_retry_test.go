@@ -1,0 +1,260 @@
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"syscall"
+	"testing"
+
+	"mscfpq/internal/gdb"
+	"mscfpq/internal/graph"
+)
+
+func TestIsBrokenConn(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("some app error"), false},
+		{&ServerError{Msg: "ERR nope"}, false},
+		{io.EOF, true},
+		{io.ErrUnexpectedEOF, true},
+		{net.ErrClosed, true},
+		{fmt.Errorf("wrapped: %w", syscall.ECONNRESET), true},
+		{fmt.Errorf("wrapped: %w", syscall.EPIPE), true},
+		{&net.OpError{Op: "read", Err: errors.New("boom")}, true},
+	}
+	for _, c := range cases {
+		if got := IsBrokenConn(c.err); got != c.want {
+			t.Errorf("IsBrokenConn(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestLeaderHint(t *testing.T) {
+	hint, ok := LeaderHint(&ServerError{Msg: "READONLY replica of 10.1.2.3:6380; write commands must go to the leader"})
+	if !ok || hint != "10.1.2.3:6380" {
+		t.Fatalf("LeaderHint = %q, %v", hint, ok)
+	}
+	// Wrapped errors still carry the hint.
+	hint, ok = LeaderHint(fmt.Errorf("query failed: %w", &ServerError{Msg: "READONLY replica of h:1; no"}))
+	if !ok || hint != "h:1" {
+		t.Fatalf("wrapped LeaderHint = %q, %v", hint, ok)
+	}
+	for _, err := range []error{
+		nil,
+		errors.New("READONLY replica of h:1; not a ServerError"),
+		&ServerError{Msg: "ERR unknown command"},
+		&ServerError{Msg: "READONLY replica of ; empty"},
+	} {
+		if _, ok := LeaderHint(err); ok {
+			t.Errorf("LeaderHint(%v) unexpectedly ok", err)
+		}
+	}
+}
+
+// flakyServer accepts one connection and drops it cold (no reply), then
+// serves +PONG to every command on later connections — the shape of a
+// server restart under a pooled client.
+func flakyServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		first, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		first.Close() // the "crash": the dialed connection dies under the client
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				r := bufio.NewReader(c)
+				for {
+					if _, err := Read(r); err != nil {
+						return
+					}
+					if _, err := c.Write([]byte("+PONG\r\n")); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestDoRetryRedialsBrokenConnection(t *testing.T) {
+	addr := flakyServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Plain Do sees the broken connection as a hard failure...
+	if _, err := c.Do("PING"); !IsBrokenConn(err) {
+		t.Fatalf("Do on a dropped connection: %v, want broken-conn error", err)
+	}
+	// ...DoRetry redials and completes on the revived server.
+	v, err := c.DoRetry(4, "PING")
+	if err != nil || v.Str != "PONG" {
+		t.Fatalf("DoRetry after drop = %+v, %v", v, err)
+	}
+	// The healed connection keeps serving without further retries.
+	if _, err := c.Do("PING"); err != nil {
+		t.Fatalf("Do after redial: %v", err)
+	}
+}
+
+func TestDoRetryDoesNotRetryHardErrors(t *testing.T) {
+	_, addr := startTestServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.DoRetry(5, "NOSUCH")
+	var se *ServerError
+	if !errors.As(err, &se) || se.Transient() {
+		t.Fatalf("DoRetry(NOSUCH) = %v, want immediate hard ServerError", err)
+	}
+}
+
+// startReplicaPair starts a leader and a read-only replica server; the
+// replica's database carries the leader's address so writes bounce with
+// the routing hint. (Stream replication is internal/repl's concern —
+// here the replica's graph is provisioned directly, the routing layer
+// under test only cares about the READONLY contract.)
+func startReplicaPair(t *testing.T) (leaderAddr, replicaAddr string) {
+	t.Helper()
+	mkGraph := func() *graph.Graph {
+		g := graph.New(2)
+		g.AddEdge(0, "a", 1)
+		return g
+	}
+	ldb := gdb.New()
+	ldb.AddGraph("g", mkGraph())
+	lsrv := NewServer(ldb)
+	laddr, err := lsrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go lsrv.Serve()
+	t.Cleanup(lsrv.Close)
+
+	rdb := gdb.New()
+	rdb.AddGraph("g", mkGraph())
+	rdb.SetReplicaSource(laddr.String())
+	rsrv := NewServer(rdb)
+	raddr, err := rsrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rsrv.Serve()
+	t.Cleanup(rsrv.Close)
+	return laddr.String(), raddr.String()
+}
+
+func TestRoutingClientFollowsLeaderHint(t *testing.T) {
+	leaderAddr, replicaAddr := startReplicaPair(t)
+
+	// Bootstrapped against the replica: the first write comes back
+	// READONLY and the client re-routes to the hinted leader.
+	rc := NewRoutingClient(replicaAddr)
+	defer rc.Close()
+	if _, err := rc.Write("GRAPH.QUERY", "w", `CREATE (a:N)-[:e]->(b:N)`); err != nil {
+		t.Fatalf("routed write: %v", err)
+	}
+	if rc.Leader() != leaderAddr {
+		t.Fatalf("leader after hint = %s, want %s", rc.Leader(), leaderAddr)
+	}
+	// Later writes go straight to the leader.
+	if _, err := rc.Write("GRAPH.QUERY", "w", `CREATE (c:M)`); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+}
+
+func TestRoutingClientReadsFromReplicas(t *testing.T) {
+	leaderAddr, replicaAddr := startReplicaPair(t)
+	rc := NewRoutingClient(leaderAddr, replicaAddr)
+	defer rc.Close()
+	v, err := rc.Read("GRAPH.QUERY", "g", `MATCH (v)-[:a]->(u) RETURN v, u`)
+	if err != nil {
+		t.Fatalf("replica read: %v", err)
+	}
+	if v.Kind != Array || len(v.Array) != 3 {
+		t.Fatalf("replica read reply shape: %+v", v)
+	}
+	// A write through the same handle stays on the leader.
+	if _, err := rc.Write("GRAPH.QUERY", "g", `CREATE (x:X)`); err != nil {
+		t.Fatalf("write with replicas configured: %v", err)
+	}
+}
+
+func TestRoutingClientFallsBackToLeader(t *testing.T) {
+	leaderAddr, _ := startReplicaPair(t)
+	// The only replica is a dead address; reads must fall back.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	rc := NewRoutingClient(leaderAddr, deadAddr)
+	defer rc.Close()
+	if _, err := rc.Read("GRAPH.LIST"); err != nil {
+		t.Fatalf("read with dead replica: %v", err)
+	}
+}
+
+func TestServerReadOnlyReplyAndInfo(t *testing.T) {
+	leaderAddr, replicaAddr := startReplicaPair(t)
+	c, err := Dial(replicaAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Writes bounce with the READONLY code (no ERR prefix) and the
+	// leader address embedded.
+	_, err = c.Do("GRAPH.QUERY", "g", `CREATE (z:Z)`)
+	hint, ok := LeaderHint(err)
+	if !ok || hint != leaderAddr {
+		t.Fatalf("replica write rejection carried hint %q, %v (err=%v)", hint, ok, err)
+	}
+	// Reads pass through.
+	if _, err := c.GraphQuery("g", `MATCH (v)-[:a]->(u) RETURN v, u`); err != nil {
+		t.Fatalf("replica read: %v", err)
+	}
+	// REPLCONF is accepted as a no-op; SYNC without a handler installed
+	// is a clean error, not a hang.
+	if v, err := c.Do("REPLCONF", "listening-port", "0"); err != nil || v.Str != "OK" {
+		t.Fatalf("REPLCONF = %+v, %v", v, err)
+	}
+	if _, err := c.Do("SYNC", "?", "0", "0"); err == nil {
+		t.Fatal("SYNC without a hub must error")
+	}
+
+	// INFO replication renders the installed ReplInfo lines (here the
+	// default leader stub, since no hub/replica loop is attached).
+	v, err := c.Do("INFO", "replication")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v.Str, "role:leader") {
+		t.Fatalf("INFO replication missing role line:\n%s", v.Str)
+	}
+}

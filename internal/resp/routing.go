@@ -1,0 +1,128 @@
+package resp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RoutingClient fans a replicated deployment's traffic to the right
+// node: writes go to the leader, reads round-robin across replicas
+// (falling back to the leader when none answer). If leadership moved —
+// a write lands on a replica and comes back READONLY — the client
+// follows the error's leader hint and retries once, so callers keep a
+// single handle across failovers. Safe for concurrent use; calls
+// serialize on one connection per node.
+type RoutingClient struct {
+	mu       sync.Mutex
+	leader   string             // guarded by mu
+	replicas []string           // guarded by mu
+	next     int                // guarded by mu: round-robin cursor over replicas
+	conns    map[string]*Client // guarded by mu: one live connection per address
+}
+
+// NewRoutingClient targets a leader and any number of read replicas.
+// Connections are dialed lazily on first use.
+func NewRoutingClient(leader string, replicas ...string) *RoutingClient {
+	return &RoutingClient{
+		leader:   leader,
+		replicas: append([]string(nil), replicas...),
+		conns:    map[string]*Client{},
+	}
+}
+
+// Leader returns the address writes currently route to.
+func (rc *RoutingClient) Leader() string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.leader
+}
+
+// clientLocked returns (dialing if needed) the connection for addr.
+// Caller holds mu.
+func (rc *RoutingClient) clientLocked(addr string) (*Client, error) {
+	if c, ok := rc.conns[addr]; ok {
+		return c, nil
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	rc.conns[addr] = c
+	return c, nil
+}
+
+// dropLocked discards addr's connection (after a hard failure). Caller
+// holds mu.
+func (rc *RoutingClient) dropLocked(addr string) {
+	if c, ok := rc.conns[addr]; ok {
+		//lint:ignore errdrop best-effort close of a connection that already failed
+		_ = c.Close()
+		delete(rc.conns, addr)
+	}
+}
+
+// doLocked runs one command against addr with retry. Caller holds mu.
+func (rc *RoutingClient) doLocked(addr string, args []string) (Value, error) {
+	c, err := rc.clientLocked(addr)
+	if err != nil {
+		return Value{}, err
+	}
+	v, err := c.DoRetry(3, args...)
+	if IsBrokenConn(err) {
+		rc.dropLocked(addr)
+	}
+	return v, err
+}
+
+// Write sends a mutating command to the leader. A READONLY rejection
+// means the node demoted (or the caller bootstrapped against a
+// replica): the embedded leader hint becomes the new write target and
+// the command is retried there once.
+func (rc *RoutingClient) Write(args ...string) (Value, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	v, err := rc.doLocked(rc.leader, args)
+	if hint, ok := LeaderHint(err); ok && hint != rc.leader {
+		rc.leader = hint
+		return rc.doLocked(rc.leader, args)
+	}
+	return v, err
+}
+
+// Read sends a read-only command to the next replica in round-robin
+// order; a replica that fails outright is skipped (its result is the
+// error only when every node, leader included, failed). With no
+// replicas configured the leader serves reads directly.
+func (rc *RoutingClient) Read(args ...string) (Value, error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var lastErr error
+	for range rc.replicas {
+		addr := rc.replicas[rc.next%len(rc.replicas)]
+		rc.next++
+		v, err := rc.doLocked(addr, args)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+	}
+	v, err := rc.doLocked(rc.leader, args)
+	if err != nil && lastErr != nil {
+		return v, fmt.Errorf("%w (replicas also failed: %v)", err, lastErr)
+	}
+	return v, err
+}
+
+// Close closes every connection.
+func (rc *RoutingClient) Close() error {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var first error
+	for addr, c := range rc.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(rc.conns, addr)
+	}
+	return first
+}

@@ -45,6 +45,19 @@ type Server struct {
 	// long. 0 means no deadline. Set before Serve.
 	IdleTimeout time.Duration
 
+	// SyncHandler, when set, takes over a connection that issues the
+	// SYNC command (the replication handshake): the handler owns the
+	// socket until it returns and streams journal frames over it,
+	// outside the request/reply loop. ctx is the server's base context,
+	// cancelled on Close/drain-timeout so streams unwind with the
+	// server. Set before Serve (typically by repl.Hub).
+	SyncHandler func(ctx context.Context, args []string, conn net.Conn, r *bufio.Reader, w *bufio.Writer)
+
+	// ReplInfo, when set, supplies the leading key:value lines of the
+	// INFO replication section (role, offsets, per-replica rows). Nil
+	// servers report role:leader with no replicas.
+	ReplInfo func() []string
+
 	// running counts commands currently executing, for overload
 	// shedding against gdb.Policy.MaxConcurrent.
 	running atomic.Int64
@@ -250,6 +263,18 @@ func (s *Server) handle(conn net.Conn) {
 			_ = w.Flush()
 			return
 		}
+		// SYNC hands the whole connection to the replication hub: the
+		// stream is long-lived and push-only, so it lives outside the
+		// inflight drain group (Shutdown would otherwise wait on it
+		// forever) and is torn down through the base context instead.
+		if strings.EqualFold(args[0], "SYNC") && s.SyncHandler != nil {
+			// The stream writes on its own cadence; the idle read
+			// deadline no longer applies. A deadline-clear failure
+			// surfaces as a stream error inside the handler.
+			_ = conn.SetReadDeadline(time.Time{})
+			s.SyncHandler(s.baseCtx, args, conn, r, w)
+			return
+		}
 		// Register the command with the drain group before dispatching;
 		// commands arriving after a drain started are refused.
 		s.mu.Lock()
@@ -366,6 +391,7 @@ func cmdMetricName(cmd string) string {
 	c := strings.ToLower(cmd)
 	switch c {
 	case "ping", "echo", "quit", "command", "info", "slowlog",
+		"replconf", "sync",
 		"graph.query", "graph.explain", "graph.stats", "graph.dump",
 		"graph.restore", "graph.profile", "graph.save", "graph.delete",
 		"graph.list":
@@ -379,7 +405,7 @@ func cmdMetricName(cmd string) string {
 // answering under load — exactly when they are most needed.
 func lightCommand(cmd string) bool {
 	switch strings.ToUpper(cmd) {
-	case "PING", "ECHO", "QUIT", "COMMAND", "INFO", "SLOWLOG":
+	case "PING", "ECHO", "QUIT", "COMMAND", "INFO", "SLOWLOG", "REPLCONF":
 		return true
 	}
 	return false
@@ -403,6 +429,14 @@ func (s *Server) execute(args []string) (reply Value, quit bool) {
 		return OK(), true
 	case "COMMAND":
 		return Arr(), false
+	case "REPLCONF":
+		// Accepted for wire compatibility with Redis replicas; the
+		// stream state this server needs travels in SYNC itself.
+		return OK(), false
+	case "SYNC":
+		// Reached only when no SyncHandler is installed (handle routes
+		// the command to the hub before dispatch otherwise).
+		return Errorf("replication is not enabled on this server"), false
 	case "INFO":
 		if len(args) > 2 {
 			return Errorf("usage: INFO [section]"), false
@@ -511,7 +545,7 @@ func (s *Server) execute(args []string) (reply Value, quit bool) {
 }
 
 // infoSectionNames lists the INFO sections in reply order.
-var infoSectionNames = []string{"server", "gdb", "cache", "kernels", "durability"}
+var infoSectionNames = []string{"server", "gdb", "cache", "kernels", "durability", "replication"}
 
 // infoSection maps an instrument name to its INFO section by the first
 // dotted component. Anything outside the known layers (resp.*,
@@ -527,6 +561,8 @@ func infoSection(key string) string {
 		return "cache"
 	case obs.LayerDur:
 		return "durability"
+	case obs.LayerRepl:
+		return "replication"
 	}
 	return "server"
 }
@@ -537,11 +573,16 @@ func infoSection(key string) string {
 // section; an unknown one yields an empty bulk string, like Redis.
 func (s *Server) info(section string) Value {
 	snap := obs.Default.Snapshot()
+	repl := []string{"role:leader"}
+	if s.ReplInfo != nil {
+		repl = s.ReplInfo()
+	}
 	lines := map[string][]string{
 		"server": {
 			fmt.Sprintf("uptime_seconds:%d", int64(time.Since(s.start).Seconds())),
 			fmt.Sprintf("graphs:%d", len(s.DB.List())),
 		},
+		"replication": repl,
 	}
 	// Snapshot.Keys is sorted, so each section's metric lines come out
 	// in one deterministic order.
