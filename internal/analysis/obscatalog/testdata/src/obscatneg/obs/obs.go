@@ -16,14 +16,17 @@ var Default = &Registry{}
 
 const (
 	LayerKernel = "kernel"
+	LayerBatch  = "batch"
 )
 
 var (
-	KernelOps = Default.Counter("kernel.mul.ops")
+	KernelOps   = Default.Counter("kernel.mul.ops")
+	BatchGroups = Default.Counter("batch.groups")
 )
 
 const (
-	SpanQuery = "query"
+	SpanQuery     = "query"
+	SpanBatchWait = "batch.wait"
 )
 
 // SpanRound derives a per-round span name inside the catalog package.

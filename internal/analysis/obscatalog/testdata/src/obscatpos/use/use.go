@@ -17,6 +17,8 @@ func Dyn(t *obs.Trace, name string) {
 func Touch() {
 	t := obs.NewTrace(obs.SpanQuery)
 	t.Start(obs.SpanQuery)
+	t.Start(obs.SpanBatchWait)
 	obs.KernelOps.Inc()
+	obs.BatchGroups.Inc()
 	obs.BadLayer.Inc()
 }

@@ -1,0 +1,412 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mscfpq/internal/cfpq"
+	"mscfpq/internal/exec"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+	"mscfpq/internal/store"
+)
+
+// testGraph is two cycles (3 a-edges, 2 b-edges) sharing vertex 0 — the
+// classic CFPQ worst case, small but with nontrivial answers from every
+// vertex.
+func testGraph() *graph.Graph {
+	g := graph.New(5)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "a", 0)
+	g.AddEdge(0, "b", 3)
+	g.AddEdge(3, "b", 0)
+	return g
+}
+
+// abGrammar is S -> a S b | a b.
+func abGrammar() *grammar.WCNF {
+	return grammar.MustWCNF(grammar.MustNew("S", []grammar.Production{
+		{LHS: "S", RHS: []grammar.Symbol{grammar.T("a"), grammar.N("S"), grammar.T("b")}},
+		{LHS: "S", RHS: []grammar.Symbol{grammar.T("a"), grammar.T("b")}},
+	}))
+}
+
+func soloPairs(t *testing.T, g *graph.Graph, w *grammar.WCNF, src *matrix.Vector, alg exec.Algorithm) [][2]int {
+	t.Helper()
+	res, err := cfpq.Eval(g, w, src, cfpq.WithAlgorithm(alg))
+	if err != nil {
+		t.Fatalf("solo eval: %v", err)
+	}
+	return res.Pairs()
+}
+
+func req(g *graph.Graph, w *grammar.WCNF, src *matrix.Vector) Request {
+	return Request{StoreID: 1, Version: 7, Graph: g, WCNF: w, Sources: src}
+}
+
+func vec(n int, idx ...int) *matrix.Vector { return matrix.NewVectorFromIndices(n, idx) }
+
+func TestSoloFastPath(t *testing.T) {
+	g, w := testGraph(), abGrammar()
+	c := NewCoalescer(nil) // window 0: coalescing disabled
+	src := vec(5, 0, 1)
+	pairs, stats, err := c.Eval(context.Background(), req(g, w, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Batched || stats.Members != 1 {
+		t.Fatalf("stats = %+v, want solo", stats)
+	}
+	if want := soloPairs(t, g, w, src, exec.AlgMultiSource); !reflect.DeepEqual(pairs, want) {
+		t.Fatalf("pairs = %v, want %v", pairs, want)
+	}
+	if s := c.Stats(); s.Solo != 1 || s.Groups != 0 || s.InFlight != 0 {
+		t.Fatalf("coalescer stats = %+v", s)
+	}
+}
+
+func TestRunBatchMatchesSolo(t *testing.T) {
+	g, w := testGraph(), abGrammar()
+	// Overlapping, duplicate, and empty member source sets.
+	sets := []*matrix.Vector{
+		vec(5, 0, 1, 2),
+		vec(5, 1, 3),    // overlaps the first
+		vec(5, 0, 1, 2), // exact duplicate
+		vec(5),          // empty
+	}
+	for _, alg := range []exec.Algorithm{exec.AlgAuto, exec.AlgMultiSource, exec.AlgMatrix, exec.AlgWorklist} {
+		c := NewCoalescer(nil)
+		reqs := make([]Request, len(sets))
+		for i, s := range sets {
+			reqs[i] = req(g, w, s)
+			reqs[i].Algorithm = alg
+		}
+		pairs, stats, err := c.RunBatch(context.Background(), reqs)
+		if err != nil {
+			t.Fatalf("alg %v: %v", alg, err)
+		}
+		resolved := resolveAlg(alg)
+		for i, s := range sets {
+			want := soloPairs(t, g, w, s, resolved)
+			if !reflect.DeepEqual(pairs[i], want) {
+				t.Fatalf("alg %v member %d: pairs = %v, want %v", alg, i, pairs[i], want)
+			}
+			if !stats[i].Batched || stats[i].Members != len(sets) {
+				t.Fatalf("alg %v member %d: stats = %+v", alg, i, stats[i])
+			}
+		}
+		s := c.Stats()
+		if s.Groups != 1 || s.Members != uint64(len(sets)) {
+			t.Fatalf("alg %v: coalescer stats = %+v", alg, s)
+		}
+		// 0,1,2 + 1,3 + 0,1,2 + {} = 8 member sources over a union of 4.
+		if s.SourcesDeduped != 4 {
+			t.Fatalf("alg %v: deduped = %d, want 4", alg, s.SourcesDeduped)
+		}
+	}
+}
+
+func TestRunBatchRejectsMixedKeys(t *testing.T) {
+	g, w := testGraph(), abGrammar()
+	a := req(g, w, vec(5, 0))
+	b := req(g, w, vec(5, 1))
+	b.Version = a.Version + 1 // different snapshot: must not share a fixpoint
+	if _, _, err := NewCoalescer(nil).RunBatch(context.Background(), []Request{a, b}); err == nil {
+		t.Fatal("mixed-version batch accepted")
+	}
+}
+
+// openGroup simulates a same-key evaluation in flight, submits members
+// from goroutines, and returns once n members were admitted to one open
+// group, along with its flush trigger.
+func openGroup(t *testing.T, c *Coalescer, reqs []Request, ctxs []context.Context) (results chan []any, flush func()) {
+	t.Helper()
+	key := keyFor(reqs[0], resolveAlg(reqs[0].Algorithm))
+	c.mu.Lock()
+	c.inflight[key]++ // simulated running evaluation with the same key
+	c.mu.Unlock()
+	results = make(chan []any, len(reqs))
+	for i := range reqs {
+		go func(i int) {
+			p, s, err := c.Eval(ctxs[i], reqs[i])
+			results <- []any{i, p, s, err}
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		g := c.groups[key]
+		n := 0
+		if g != nil {
+			n = len(g.members)
+		}
+		c.mu.Unlock()
+		if n == len(reqs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d members admitted", n, len(reqs))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return results, func() {
+		c.mu.Lock()
+		g := c.groups[key]
+		c.mu.Unlock()
+		if g == nil {
+			t.Fatal("no open group to flush")
+		}
+		c.flushAfterWindow(g, key)
+		c.mu.Lock()
+		c.inflight[key]-- // release the simulated evaluation
+		c.mu.Unlock()
+	}
+}
+
+func TestAdaptiveCoalescing(t *testing.T) {
+	g, w := testGraph(), abGrammar()
+	c := NewCoalescer(nil)
+	c.Configure(time.Hour, 0) // flushed manually: no timing dependence
+	sets := []*matrix.Vector{vec(5, 0), vec(5, 1), vec(5, 0, 2)}
+	reqs := make([]Request, len(sets))
+	ctxs := make([]context.Context, len(sets))
+	for i, s := range sets {
+		reqs[i] = req(g, w, s)
+		ctxs[i] = context.Background()
+	}
+	results, flush := openGroup(t, c, reqs, ctxs)
+	flush()
+	for range reqs {
+		r := <-results
+		i, pairs, stats, err := r[0].(int), r[1].([][2]int), r[2].(Stats), r[3]
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if !stats.Batched || stats.Members != 3 {
+			t.Fatalf("member %d: stats = %+v", i, stats)
+		}
+		if want := soloPairs(t, g, w, sets[i], exec.AlgMultiSource); !reflect.DeepEqual(pairs, want) {
+			t.Fatalf("member %d: pairs = %v, want %v", i, pairs, want)
+		}
+	}
+	if s := c.Stats(); s.Groups != 1 || s.Members != 3 || s.OpenGroups != 0 || s.InFlight != 0 {
+		t.Fatalf("coalescer stats = %+v", s)
+	}
+}
+
+func TestWindowTimerFlushes(t *testing.T) {
+	g, w := testGraph(), abGrammar()
+	c := NewCoalescer(nil)
+	c.Configure(30*time.Millisecond, 0)
+	key := keyFor(req(g, w, vec(5, 0)), exec.AlgMultiSource)
+	c.mu.Lock()
+	c.inflight[key]++
+	c.mu.Unlock()
+	src := vec(5, 0, 1)
+	pairs, stats, err := c.Eval(context.Background(), req(g, w, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Batched || stats.Members != 1 {
+		t.Fatalf("stats = %+v, want batched singleton group", stats)
+	}
+	if want := soloPairs(t, g, w, src, exec.AlgMultiSource); !reflect.DeepEqual(pairs, want) {
+		t.Fatalf("pairs = %v, want %v", pairs, want)
+	}
+	c.mu.Lock()
+	c.inflight[key]--
+	c.mu.Unlock()
+}
+
+func TestMaxSourcesFlushesEarly(t *testing.T) {
+	g, w := testGraph(), abGrammar()
+	c := NewCoalescer(nil)
+	c.Configure(time.Hour, 2) // the union cap, not the timer, must flush
+	key := keyFor(req(g, w, vec(5, 0)), exec.AlgMultiSource)
+	c.mu.Lock()
+	c.inflight[key]++
+	c.mu.Unlock()
+	src := vec(5, 0, 1) // alone reaches the cap of 2
+	pairs, stats, err := c.Eval(context.Background(), req(g, w, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Batched {
+		t.Fatalf("stats = %+v, want batched", stats)
+	}
+	if want := soloPairs(t, g, w, src, exec.AlgMultiSource); !reflect.DeepEqual(pairs, want) {
+		t.Fatalf("pairs = %v, want %v", pairs, want)
+	}
+	c.mu.Lock()
+	c.inflight[key]--
+	c.mu.Unlock()
+}
+
+func TestMemberCancelDoesNotAbortGroup(t *testing.T) {
+	g, w := testGraph(), abGrammar()
+	c := NewCoalescer(nil)
+	c.Configure(time.Hour, 0)
+	sets := []*matrix.Vector{vec(5, 0), vec(5, 1)}
+	reqs := []Request{req(g, w, sets[0]), req(g, w, sets[1])}
+	ctx0, cancel0 := context.WithCancel(context.Background())
+	ctxs := []context.Context{ctx0, context.Background()}
+	results, flush := openGroup(t, c, reqs, ctxs)
+	cancel0() // member 0 leaves during the admission window
+	var got [2][]any
+	r := <-results // member 0 returns promptly with its own ctx error
+	got[r[0].(int)] = r
+	flush()
+	r = <-results
+	got[r[0].(int)] = r
+	if err, _ := got[0][3].(error); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled member error = %v, want Canceled", err)
+	}
+	if err, _ := got[1][3].(error); err != nil {
+		t.Fatalf("surviving member error = %v", err)
+	}
+	pairs := got[1][1].([][2]int)
+	if want := soloPairs(t, g, w, sets[1], exec.AlgMultiSource); !reflect.DeepEqual(pairs, want) {
+		t.Fatalf("surviving member pairs = %v, want %v", pairs, want)
+	}
+	if s := c.Stats(); s.Aborted != 0 {
+		t.Fatalf("stats = %+v, want no aborted group", s)
+	}
+}
+
+func TestSoleMemberCancelAbortsGroup(t *testing.T) {
+	g, w := testGraph(), abGrammar()
+	c := NewCoalescer(nil)
+	c.Configure(time.Hour, 0)
+	reqs := []Request{req(g, w, vec(5, 0))}
+	ctx, cancel := context.WithCancel(context.Background())
+	results, flush := openGroup(t, c, reqs, []context.Context{ctx})
+	cancel()
+	r := <-results
+	if err, _ := r[3].(error); !errors.Is(err, context.Canceled) {
+		t.Fatalf("member error = %v, want Canceled", err)
+	}
+	flush() // nobody left: the fixpoint must not run
+	if s := c.Stats(); s.Aborted != 1 || s.Groups != 0 {
+		t.Fatalf("stats = %+v, want 1 aborted, 0 groups", s)
+	}
+}
+
+func TestVersionsNeverShareAGroup(t *testing.T) {
+	g, w := testGraph(), abGrammar()
+	c := NewCoalescer(nil)
+	c.Configure(time.Hour, 0)
+	r0 := req(g, w, vec(5, 0))
+	key0 := keyFor(r0, exec.AlgMultiSource)
+	c.mu.Lock()
+	c.inflight[key0]++ // concurrency exists for version 7 only
+	c.mu.Unlock()
+	r1 := req(g, w, vec(5, 1))
+	r1.Version = 8
+	// The version-8 request must take the solo fast path, not wait in a
+	// version-7 window.
+	done := make(chan struct{})
+	var stats Stats
+	go func() {
+		_, stats, _ = c.Eval(context.Background(), r1)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-version request waited in another version's window")
+	}
+	if stats.Batched {
+		t.Fatalf("stats = %+v, want solo", stats)
+	}
+	c.mu.Lock()
+	c.inflight[key0]--
+	c.mu.Unlock()
+}
+
+func TestCacheSeeding(t *testing.T) {
+	g, w := testGraph(), abGrammar()
+	cache := store.NewCache(1<<20, 0)
+	c := NewCoalescer(cache)
+	sets := []*matrix.Vector{vec(5, 0, 1), vec(5, 1, 2)}
+	reqs := []Request{req(g, w, sets[0]), req(g, w, sets[1])}
+	pairs, _, err := c.RunBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Member source sets hit.
+	for i, s := range sets {
+		k := store.EvalKey(1, 7, w, s, exec.AlgMultiSource)
+		v, ok := cache.Get(k)
+		if !ok {
+			t.Fatalf("member %d set not seeded", i)
+		}
+		if !reflect.DeepEqual(v.([][2]int), pairs[i]) {
+			t.Fatalf("member %d cached = %v, want %v", i, v, pairs[i])
+		}
+	}
+	// Individual source vertices hit with their solo answers.
+	for _, s := range []int{0, 1, 2} {
+		single := vec(5, s)
+		k := store.EvalKey(1, 7, w, single, exec.AlgMultiSource)
+		v, ok := cache.Get(k)
+		if !ok {
+			t.Fatalf("singleton %d not seeded", s)
+		}
+		want := soloPairs(t, g, w, single, exec.AlgMultiSource)
+		got := v.([][2]int)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("singleton %d cached = %v, want %v", s, got, want)
+		}
+	}
+}
+
+// TestConcurrentEvalStress hammers one coalescer from many goroutines
+// with a real (tiny) window; every result must equal its solo answer no
+// matter how the scheduler grouped them. Run with -race.
+func TestConcurrentEvalStress(t *testing.T) {
+	g, w := testGraph(), abGrammar()
+	c := NewCoalescer(store.NewCache(1<<20, 0))
+	c.Configure(200*time.Microsecond, 0)
+	sets := []*matrix.Vector{vec(5, 0), vec(5, 1), vec(5, 2), vec(5, 0, 3), vec(5, 1, 4), vec(5)}
+	want := make([][][2]int, len(sets))
+	for i, s := range sets {
+		want[i] = soloPairs(t, g, w, s, exec.AlgMultiSource)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for iter := 0; iter < 40; iter++ {
+				i := (k + iter) % len(sets)
+				pairs, _, err := c.Eval(context.Background(), req(g, w, sets[i]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(pairs, want[i]) {
+					errs <- errors.New("batched answer diverged from solo answer")
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.OpenGroups != 0 || s.InFlight != 0 {
+		t.Fatalf("leaked state: %+v", s)
+	}
+}

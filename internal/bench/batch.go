@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mscfpq/internal/exec"
+	"mscfpq/internal/gdb"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/matrix"
+)
+
+const (
+	// batchMinSpeedup is the acceptance gate (ISSUE 10): with 8
+	// concurrent same-grammar clients, coalescing must at least double
+	// the aggregate throughput over the unbatched baseline.
+	batchMinSpeedup = 2.0
+	// batchMaxAddedP50 bounds the latency cost for an uncontended
+	// client: admission is adaptive (a lone query never waits), so
+	// enabling the window must not add more than this to its p50.
+	batchMaxAddedP50 = time.Millisecond
+	// batchLoneReps is how many sequential queries the lone-client p50
+	// is taken over; batchPoolSets/batchSetSize shape the overlapping
+	// source-set pool the clients rotate through.
+	batchLoneReps = 30
+	batchPoolSets = 16
+	batchSetSize  = 8
+)
+
+// BatchMeasurement is one row of the coalescing experiment, serialized
+// into BENCH_batch.json by `make bench-smoke`: either a lone-client
+// latency comparison (Clients == 1) or a concurrent-throughput pair.
+type BatchMeasurement struct {
+	Workload       string  `json:"workload"`
+	Graph          string  `json:"graph"`
+	Query          string  `json:"query"`
+	Clients        int     `json:"clients"`
+	WindowMS       float64 `json:"window_ms,omitempty"`
+	P50UnbatchedMS float64 `json:"p50_unbatched_ms,omitempty"`
+	P50WindowedMS  float64 `json:"p50_windowed_ms,omitempty"`
+	AddedP50MS     float64 `json:"added_p50_ms,omitempty"`
+	UnbatchedQPS   float64 `json:"unbatched_qps,omitempty"`
+	BatchedQPS     float64 `json:"batched_qps,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+	Groups         uint64  `json:"groups,omitempty"`
+	Members        uint64  `json:"members,omitempty"`
+	Reps           int     `json:"reps"`
+}
+
+// batchPool builds overlapping source sets: every set samples from one
+// small candidate window of the vertex space, so concurrent members
+// share sources and the union stays compact — the workload the paper's
+// multiple-source amortization targets.
+func batchPool(n int, seed int64) []*matrix.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	cand := perm[:min(n, 2*batchSetSize)]
+	pool := make([]*matrix.Vector, batchPoolSets)
+	for i := range pool {
+		v := matrix.NewVector(n)
+		for k := 0; k < min(batchSetSize, len(cand)); k++ {
+			v.Set(cand[rng.Intn(len(cand))])
+		}
+		pool[i] = v
+	}
+	return pool
+}
+
+// BatchBench measures multi-source query coalescing (DESIGN.md §14) on
+// the serving path: 8 concurrent same-grammar clients with and without
+// an admission window (cache disabled, so every query pays its
+// fixpoint), plus the lone-client p50 that proves adaptive admission
+// adds no latency when there is nothing to coalesce. It returns an
+// error if the 8-client speedup falls below 2x or the lone-client p50
+// grows by more than 1ms.
+func BatchBench(cfg Config) (*Report, []BatchMeasurement, error) {
+	const graphName = "core"
+	g, spec, err := cfg.Generate(graphName)
+	if err != nil {
+		return nil, nil, err
+	}
+	qname, q := queryFor(graphName)
+	w, err := grammar.ToWCNF(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	db := gdb.New()
+	db.AddGraph(graphName, g)
+	pool := batchPool(g.NumVertices(), cfg.Seed)
+	ctx := context.Background()
+
+	run := func(src *matrix.Vector) error {
+		_, err := db.EvalCFPQ(ctx, graphName, w, src, exec.AlgMultiSource)
+		return err
+	}
+	// p50 of one client issuing sequential queries over the pool.
+	lonePS0 := func() (time.Duration, error) {
+		lat := make([]time.Duration, 0, batchLoneReps)
+		for i := 0; i < batchLoneReps; i++ {
+			d, err := timeIt(func() error { return run(pool[i%len(pool)]) })
+			if err != nil {
+				return 0, err
+			}
+			lat = append(lat, d)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[len(lat)/2], nil
+	}
+	setWindow := func(window time.Duration) {
+		db.SetPolicy(gdb.Policy{CacheMaxBytes: 0, BatchWindow: window})
+	}
+	qps := func(clients int, measure time.Duration) (float64, error) {
+		var ops atomic.Int64
+		var wg sync.WaitGroup
+		var firstErr atomic.Value
+		stop := make(chan struct{})
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := c; ; i += clients {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := run(pool[i%len(pool)]); err != nil {
+						firstErr.Store(err)
+						return
+					}
+					ops.Add(1)
+				}
+			}(c)
+		}
+		time.Sleep(measure)
+		close(stop)
+		wg.Wait()
+		if err, ok := firstErr.Load().(error); ok {
+			return 0, err
+		}
+		return float64(ops.Load()) / measure.Seconds(), nil
+	}
+
+	rep := &Report{
+		ID:      "Batch",
+		Title:   "Query coalescing: shared fixpoints for concurrent same-grammar clients",
+		Columns: []string{"Workload", "Clients", "Window", "Unbatched", "Batched", "Speedup"},
+	}
+	var out []BatchMeasurement
+
+	// Lone client: p50 without a window, then with one. The window is
+	// sized from the measured solo latency so coalescing has one solo
+	// evaluation's worth of time to gather concurrent arrivals.
+	setWindow(0)
+	p50Cold, err := lonePS0()
+	if err != nil {
+		return nil, nil, fmt.Errorf("lone-client baseline: %w", err)
+	}
+	window := p50Cold / 2
+	if window < 200*time.Microsecond {
+		window = 200 * time.Microsecond
+	}
+	if window > 5*time.Millisecond {
+		window = 5 * time.Millisecond
+	}
+	setWindow(window)
+	p50Warm, err := lonePS0()
+	if err != nil {
+		return nil, nil, fmt.Errorf("lone-client windowed: %w", err)
+	}
+	added := p50Warm - p50Cold
+	m := BatchMeasurement{
+		Workload: "lone-client-p50", Graph: spec.Name, Query: qname, Clients: 1,
+		WindowMS:       float64(window.Nanoseconds()) / 1e6,
+		P50UnbatchedMS: float64(p50Cold.Nanoseconds()) / 1e6,
+		P50WindowedMS:  float64(p50Warm.Nanoseconds()) / 1e6,
+		AddedP50MS:     float64(added.Nanoseconds()) / 1e6,
+		Reps:           batchLoneReps,
+	}
+	out = append(out, m)
+	rep.Rows = append(rep.Rows, []string{
+		m.Workload, "1", ms(window), ms(p50Cold) + " p50", ms(p50Warm) + " p50",
+		fmt.Sprintf("%+.3fms", m.AddedP50MS),
+	})
+	if added > batchMaxAddedP50 {
+		return nil, nil, fmt.Errorf(
+			"batch acceptance gate failed: lone-client p50 grew by %.3fms (> %s) with the window on",
+			m.AddedP50MS, batchMaxAddedP50)
+	}
+
+	// Concurrent same-grammar clients: aggregate throughput without
+	// coalescing, then with the admission window.
+	const measure = 400 * time.Millisecond
+	for _, clients := range []int{2, 4, 8} {
+		setWindow(0)
+		qps0, err := qps(clients, measure)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%d clients unbatched: %w", clients, err)
+		}
+		before := db.BatchStats()
+		setWindow(window)
+		qpsW, err := qps(clients, measure)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%d clients batched: %w", clients, err)
+		}
+		after := db.BatchStats()
+		groups := after.Groups - before.Groups
+		members := after.Members - before.Members
+		speedup := qpsW / qps0
+		m := BatchMeasurement{
+			Workload: "concurrent-clients", Graph: spec.Name, Query: qname,
+			Clients: clients, WindowMS: float64(window.Nanoseconds()) / 1e6,
+			UnbatchedQPS: qps0, BatchedQPS: qpsW, Speedup: speedup,
+			Groups: groups, Members: members, Reps: 1,
+		}
+		out = append(out, m)
+		rep.Rows = append(rep.Rows, []string{
+			m.Workload, fmt.Sprintf("%d", clients), ms(window),
+			fmt.Sprintf("%.0f qps", qps0), fmt.Sprintf("%.0f qps", qpsW),
+			fmt.Sprintf("%.1fx", speedup),
+		})
+		if clients == 8 {
+			if groups == 0 {
+				return nil, nil, fmt.Errorf(
+					"batch acceptance gate failed: 8 clients formed no groups (window %s)", window)
+			}
+			if speedup < batchMinSpeedup {
+				return nil, nil, fmt.Errorf(
+					"batch acceptance gate failed: 8 clients: %.0f qps batched vs %.0f unbatched (%.2fx < %.1fx)",
+					qpsW, qps0, speedup, batchMinSpeedup)
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"cache disabled; window %s (half the measured lone-client p50, clamped); throughput windows of %s over a pool of %d overlapping %d-source sets; acceptance: >=%.0fx qps at 8 clients, <=%s added lone-client p50",
+		ms(window), measure, batchPoolSets, batchSetSize, batchMinSpeedup, batchMaxAddedP50))
+	return rep, out, nil
+}
+
+// WriteBatchJSON serializes the measurements as indented JSON.
+func WriteBatchJSON(w io.Writer, ms []BatchMeasurement) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ms)
+}

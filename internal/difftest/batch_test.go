@@ -1,0 +1,40 @@
+package difftest
+
+import (
+	"testing"
+
+	"mscfpq/internal/gen"
+)
+
+// TestDifferentialBatch forces every algorithm through the coalescer's
+// shared fixpoint on seeded instances: each member's scattered answer
+// must be byte-identical to its solo Eval — including overlapping,
+// duplicate and empty member source sets — and the cache must be seeded
+// with exactly those answers. A quarter of the CFPQ corpus: each
+// instance runs six algorithms × five members, solo and batched.
+func TestDifferentialBatch(t *testing.T) {
+	failures := 0
+	for i := 0; i < cfpqInstances/4; i++ {
+		inst := gen.NewInstance(*seedFlag+int64(5_000_000+i), maxGraphVertices)
+		if err := CheckBatch(inst); err != nil {
+			reportCFPQFailure(t, inst, err, CheckBatch)
+			if failures++; failures >= 3 {
+				t.Fatalf("stopping after %d failing instances", failures)
+			}
+		}
+	}
+}
+
+// TestDifferentialBatchVersioned runs the coalescer's adaptive path
+// against a store that keeps publishing new versions: snapshot-pinned
+// answers must exactly match solo evaluations of the pinned graph —
+// a batch must never mix versions. Run with -race.
+func TestDifferentialBatchVersioned(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		inst := gen.NewInstance(*seedFlag+int64(6_000_000+i), maxGraphVertices)
+		if err := CheckBatchVersioned(inst); err != nil {
+			t.Fatalf("seed %d (rerun: go test ./internal/difftest -seed=%d): %v",
+				inst.Seed, *seedFlag, err)
+		}
+	}
+}

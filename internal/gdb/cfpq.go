@@ -1,0 +1,101 @@
+package gdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"mscfpq/internal/batch"
+	"mscfpq/internal/exec"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/matrix"
+	"mscfpq/internal/obs"
+	"mscfpq/internal/store"
+)
+
+// EvalCFPQ answers a multiple-source CFPQ query against the named
+// graph: reachability pairs (s, v) for s in src under the context-free
+// grammar w. It is the direct serving entry for grammar-shaped queries
+// (the Cypher PATH PATTERN route goes through QueryContext): it pins
+// one snapshot, consults the version-keyed cache, and dispatches
+// through the coalescing scheduler — under Policy.BatchWindow,
+// concurrent queries agreeing on (snapshot, grammar, algorithm, limits)
+// share one fixpoint (DESIGN.md §14). Policy timeout and budget apply;
+// alg AlgAuto resolves to the multiple-source algorithm.
+func (db *DB) EvalCFPQ(ctx context.Context, name string, w *grammar.WCNF, src *matrix.Vector, alg exec.Algorithm) ([][2]int, error) {
+	s, err := db.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("gdb: EvalCFPQ requires a source set (use the all-pairs algorithms through cfpq.Eval)")
+	}
+	pol := db.Policy()
+	start := time.Now()
+
+	// Pin ONE snapshot for the cache key, the batch key and the
+	// evaluation: a batch never mixes versions, and a cached entry can
+	// never serve any other version.
+	snap := s.Snapshot()
+	req := batch.Request{
+		StoreID:     snap.StoreID(),
+		Version:     snap.Version(),
+		Graph:       snap.Graph(),
+		WCNF:        w,
+		Sources:     src,
+		Algorithm:   alg,
+		Timeout:     pol.DefaultTimeout,
+		Budget:      pol.MaxWork,
+		GrammarHash: store.GrammarHash(w),
+	}
+	resolved := alg
+	if resolved == exec.AlgAuto {
+		resolved = exec.AlgMultiSource
+	}
+	if db.cache.Enabled() {
+		key := store.EvalKey(snap.StoreID(), snap.Version(), w, src, resolved)
+		if v, ok := db.cache.Get(key); ok {
+			obs.GdbQueries.Inc()
+			obs.GdbQueryLatencyUS.Observe(time.Since(start).Microseconds())
+			return v.([][2]int), nil
+		}
+	}
+
+	pairs, stats, err := db.batcher.Eval(ctx, req)
+	elapsed := time.Since(start)
+	obs.GdbQueries.Inc()
+	obs.GdbQueryLatencyUS.Observe(elapsed.Microseconds())
+	exec.RecordOutcome(err)
+
+	aborted := err != nil && (errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, exec.ErrBudget))
+	if aborted || (pol.SlowQuery > 0 && elapsed >= pol.SlowQuery) {
+		status := "slow"
+		if aborted {
+			status = "aborted"
+		}
+		obs.GdbSlowQueries.Inc()
+		entry := obs.SlowLogEntry{
+			Time: start, Graph: name,
+			Query:    fmt.Sprintf("CFPQ alg=%s sources=%d batched=%t", stats.Algorithm, src.NVals(), stats.Batched),
+			Duration: elapsed, Status: status, Work: stats.Work,
+		}
+		if err != nil {
+			entry.Err = err.Error()
+		}
+		db.slowLog.Add(entry)
+		if pol.Log != nil {
+			pol.Log.Printf("slow-query status=%s graph=%q duration=%s timeout=%s work=%d budget=%d batched=%t err=%v",
+				status, name, elapsed.Round(time.Microsecond), pol.DefaultTimeout, stats.Work, pol.MaxWork, stats.Batched, err)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// BatchStats snapshots the query coalescer's counters (the INFO batch
+// section reads the process-global batch.* instruments instead).
+func (db *DB) BatchStats() batch.CoalescerStats { return db.batcher.Stats() }

@@ -1,0 +1,192 @@
+package gdb
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mscfpq/internal/cfpq"
+	"mscfpq/internal/exec"
+	"mscfpq/internal/grammar"
+	"mscfpq/internal/graph"
+	"mscfpq/internal/matrix"
+	"mscfpq/internal/store"
+)
+
+func cfpqTestGraph() *graph.Graph {
+	g := graph.New(6)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "a", 0)
+	g.AddEdge(0, "b", 3)
+	g.AddEdge(3, "b", 4)
+	g.AddEdge(4, "b", 0)
+	return g
+}
+
+func cfpqTestGrammar() *grammar.WCNF {
+	return grammar.MustWCNF(grammar.MustNew("S", []grammar.Production{
+		{LHS: "S", RHS: []grammar.Symbol{grammar.T("a"), grammar.N("S"), grammar.T("b")}},
+		{LHS: "S", RHS: []grammar.Symbol{grammar.T("a"), grammar.T("b")}},
+	}))
+}
+
+func TestEvalCFPQMatchesDirect(t *testing.T) {
+	db := New()
+	g := cfpqTestGraph()
+	db.AddGraph("g", g)
+	w := cfpqTestGrammar()
+	src := matrix.NewVectorFromIndices(6, []int{0, 1})
+	got, err := db.EvalCFPQ(context.Background(), "g", w, src, exec.AlgAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cfpq.Eval(g, w, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := res.Pairs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("EvalCFPQ = %v, want %v", got, want)
+	}
+	if _, err := db.EvalCFPQ(context.Background(), "missing", w, src, exec.AlgAuto); err == nil {
+		t.Fatal("EvalCFPQ on missing graph succeeded")
+	}
+	if _, err := db.EvalCFPQ(context.Background(), "g", w, nil, exec.AlgAuto); err == nil {
+		t.Fatal("EvalCFPQ without sources succeeded")
+	}
+}
+
+func TestEvalCFPQCacheHit(t *testing.T) {
+	db := New()
+	db.AddGraph("g", cfpqTestGraph())
+	db.SetPolicy(Policy{CacheMaxBytes: 1 << 20})
+	w := cfpqTestGrammar()
+	src := matrix.NewVectorFromIndices(6, []int{0})
+	first, err := db.EvalCFPQ(context.Background(), "g", w, src, exec.AlgAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.cache.Stats().Hits
+	second, err := db.EvalCFPQ(context.Background(), "g", w, src, exec.AlgAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.cache.Stats().Hits != before+1 {
+		t.Fatal("second EvalCFPQ missed the cache")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached answer %v != computed %v", second, first)
+	}
+	// AlgAuto and its resolved algorithm share one entry.
+	s, err := db.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := store.EvalKey(s.StoreID(), 0, w, src, exec.AlgMultiSource)
+	if _, ok := db.cache.Get(k); !ok {
+		t.Fatal("cache entry not under the resolved-algorithm key")
+	}
+}
+
+// pairSet folds answer pairs into a set for inclusion checks.
+func pairSet(pairs [][2]int) map[[2]int]bool {
+	m := make(map[[2]int]bool, len(pairs))
+	for _, p := range pairs {
+		m[p] = true
+	}
+	return m
+}
+
+// TestEvalCFPQBatchedUnderWrites serves coalesced queries while a
+// writer publishes new versions. Batches are version-pinned, and the
+// writer only adds edges, so every answer must be sandwiched between
+// the solo answers of the versions pinned just before and just after
+// the call: solo(before) ⊆ batched ⊆ solo(after). Run with -race.
+func TestEvalCFPQBatchedUnderWrites(t *testing.T) {
+	db := New()
+	s := db.AddGraph("g", cfpqTestGraph())
+	db.SetPolicy(Policy{BatchWindow: 200 * time.Microsecond})
+	w := cfpqTestGrammar()
+
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = s.st.Update(func(tx *store.Tx) error {
+				tx.Graph().AddEdge(i%6, "a", (i+2)%6)
+				return nil
+			})
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	var readerWG sync.WaitGroup
+	errs := make(chan error, 64)
+	for k := 0; k < 6; k++ {
+		readerWG.Add(1)
+		go func(k int) {
+			defer readerWG.Done()
+			for iter := 0; iter < 25; iter++ {
+				src := matrix.NewVectorFromIndices(6, []int{k % 6, (k + iter) % 6})
+				before := s.Snapshot()
+				pairs, err := db.EvalCFPQ(context.Background(), "g", w, src, exec.AlgMultiSource)
+				after := s.Snapshot()
+				if err != nil {
+					errs <- err
+					return
+				}
+				lo, err := cfpq.Eval(before.Graph(), w, src, cfpq.WithAlgorithm(exec.AlgMultiSource))
+				if err != nil {
+					errs <- err
+					return
+				}
+				hi, err := cfpq.Eval(after.Graph(), w, src, cfpq.WithAlgorithm(exec.AlgMultiSource))
+				if err != nil {
+					errs <- err
+					return
+				}
+				got := pairSet(pairs)
+				hiSet := pairSet(hi.Pairs())
+				for _, p := range lo.Pairs() {
+					if !got[p] {
+						errs <- fmt.Errorf("batched answer lost pair %v present at the pre-call version", p)
+						return
+					}
+				}
+				for p := range got {
+					if !hiSet[p] {
+						errs <- fmt.Errorf("batched answer invented pair %v absent at the post-call version", p)
+						return
+					}
+					if !src.Get(p[0]) {
+						errs <- fmt.Errorf("batched answer row %v outside the member's source set", p)
+						return
+					}
+				}
+			}
+		}(k)
+	}
+	done := make(chan struct{})
+	go func() { readerWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress run wedged")
+	}
+	close(stop)
+	writerWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

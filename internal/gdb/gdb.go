@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"mscfpq/internal/batch"
 	"mscfpq/internal/cypher"
 	"mscfpq/internal/exec"
 	"mscfpq/internal/graph"
@@ -41,6 +42,12 @@ type DB struct {
 	// synchronized).
 	slowLog *obs.SlowLog
 
+	// batcher coalesces concurrent same-key EvalCFPQ queries into shared
+	// fixpoints (DESIGN.md §14); set once by New, immutable afterwards
+	// (internally synchronized). Disabled until a policy sets
+	// BatchWindow.
+	batcher *batch.Coalescer
+
 	// dur is the crash-safety layer, nil for in-memory databases (New);
 	// set once by Open before the DB is shared, immutable afterwards.
 	dur *durability
@@ -57,11 +64,13 @@ const slowLogCapacity = 128
 
 // New returns an empty database.
 func New() *DB {
-	return &DB{
+	db := &DB{
 		graphs:  map[string]*GraphStore{},
 		cache:   store.NewCache(0, 0),
 		slowLog: obs.NewSlowLog(slowLogCapacity),
 	}
+	db.batcher = batch.NewCoalescer(db.cache)
+	return db
 }
 
 // SlowLog exposes the slow-query ring (never nil).

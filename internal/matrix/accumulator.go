@@ -2,7 +2,8 @@ package matrix
 
 import (
 	"math/bits"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // accumulator gathers the union of sparse rows during multiplication.
@@ -16,12 +17,52 @@ type accumulator struct {
 	epoch   uint32
 }
 
-func newAccumulator(ncols int) *accumulator {
+// accPool recycles accumulators across multiplications. A fixpoint
+// round allocates one accumulator per kernel call (and one per worker
+// for the parallel kernels); the backing bitsets are by far the largest
+// per-round allocation, so reusing them keeps the steady-state fixpoint
+// loop allocation-free apart from the result rows themselves.
+var accPool = sync.Pool{New: func() any { return &accumulator{} }}
+
+// getAccumulator returns an accumulator sized for ncols columns, reusing
+// a pooled one when its backing arrays are large enough. Callers must
+// hand it back with putAccumulator when the multiplication finishes.
+func getAccumulator(ncols int) *accumulator {
+	a := accPool.Get().(*accumulator)
+	a.resize(ncols)
+	return a
+}
+
+// putAccumulator recycles a for later getAccumulator calls. The
+// accumulator must no longer be used after being put.
+func putAccumulator(a *accumulator) {
+	accPool.Put(a)
+}
+
+// resize adapts the accumulator to a column count, keeping the backing
+// arrays when their capacity suffices. The epoch survives reuse: stale
+// stamps from earlier rounds are always strictly older than the current
+// epoch, so the lazy word-reset logic stays sound without zeroing.
+func (a *accumulator) resize(ncols int) {
 	nwords := (ncols + 63) / 64
-	return &accumulator{
-		words: make([]uint64, nwords),
-		mark:  make([]uint32, nwords),
-		epoch: 1,
+	a.touched = a.touched[:0]
+	if cap(a.words) < nwords {
+		a.words = make([]uint64, nwords)
+		a.mark = make([]uint32, nwords)
+		if a.epoch == 0 {
+			a.epoch = 1
+		}
+		return
+	}
+	old := len(a.mark)
+	a.words = a.words[:nwords]
+	a.mark = a.mark[:nwords]
+	// Words re-exposed by growing within capacity carry stamps from a
+	// prior, wider use. Those stamps predate the current epoch — except
+	// across an epoch wrap, whose explicit clear in reset() only covers
+	// the then-visible region — so clear them defensively.
+	for i := old; i < nwords; i++ {
+		a.mark[i] = 0
 	}
 }
 
@@ -61,7 +102,7 @@ func (a *accumulator) extract(dst []uint32) []uint32 {
 	if len(a.touched) == 0 {
 		return dst
 	}
-	sort.Slice(a.touched, func(i, j int) bool { return a.touched[i] < a.touched[j] })
+	slices.Sort(a.touched)
 	for _, w := range a.touched {
 		word := a.words[w]
 		base := w << 6

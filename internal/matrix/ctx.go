@@ -23,7 +23,8 @@ func MulCtx(ctx context.Context, a, b *Bool) (*Bool, error) {
 	if a.nvals == 0 || b.nvals == 0 {
 		return out, ctx.Err()
 	}
-	acc := newAccumulator(b.ncols)
+	acc := getAccumulator(b.ncols)
+	defer putAccumulator(acc)
 	for lo := 0; lo < a.nrows; lo += ctxCheckRows {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -65,7 +66,8 @@ func MulParCtx(ctx context.Context, a, b *Bool, workers int) (*Bool, error) {
 		}
 		nblocks++
 		go func(lo, hi int) {
-			acc := newAccumulator(b.ncols)
+			acc := getAccumulator(b.ncols)
+			defer putAccumulator(acc)
 			n := 0
 			for blo := lo; blo < hi; blo += ctxCheckRows {
 				if err := ctx.Err(); err != nil {

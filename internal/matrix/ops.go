@@ -11,8 +11,9 @@ func Mul(a, b *Bool) *Bool {
 	if a.nvals == 0 || b.nvals == 0 {
 		return out
 	}
-	acc := newAccumulator(b.ncols)
+	acc := getAccumulator(b.ncols)
 	mulRowsInto(a, b, out, 0, a.nrows, acc)
+	putAccumulator(acc)
 	return out
 }
 
@@ -66,7 +67,7 @@ func MulPar(a, b *Bool, workers int) *Bool {
 		}
 		nblocks++
 		go func(blk block) {
-			acc := newAccumulator(b.ncols)
+			acc := getAccumulator(b.ncols)
 			n := 0
 			for i := blk.lo; i < blk.hi; i++ {
 				ra := a.rows[i]
@@ -83,6 +84,7 @@ func MulPar(a, b *Bool, workers int) *Bool {
 					n += len(row)
 				}
 			}
+			putAccumulator(acc)
 			done <- n
 		}(block{lo, hi})
 	}

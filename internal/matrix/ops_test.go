@@ -262,7 +262,7 @@ func TestMulWitness(t *testing.T) {
 }
 
 func TestAccumulatorEpochWrap(t *testing.T) {
-	acc := newAccumulator(128)
+	acc := getAccumulator(128)
 	acc.epoch = ^uint32(0) - 1 // two resets away from wrap
 	for round := 0; round < 4; round++ {
 		acc.reset()

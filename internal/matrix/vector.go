@@ -157,12 +157,13 @@ func ReduceCols(m *Bool) *Vector {
 	if m.nvals == 0 {
 		return v
 	}
-	acc := newAccumulator(m.ncols)
+	acc := getAccumulator(m.ncols)
 	acc.reset()
 	for _, row := range m.rows {
 		acc.orRow(row)
 	}
 	v.idx = acc.extract(make([]uint32, 0, acc.count()))
+	putAccumulator(acc)
 	return v
 }
 
@@ -197,12 +198,13 @@ func VecMul(v *Vector, m *Bool) *Vector {
 	if len(v.idx) == 0 || m.nvals == 0 {
 		return out
 	}
-	acc := newAccumulator(m.ncols)
+	acc := getAccumulator(m.ncols)
 	acc.reset()
 	for _, i := range v.idx {
 		acc.orRow(m.rows[i])
 	}
 	out.idx = acc.extract(make([]uint32, 0, acc.count()))
+	putAccumulator(acc)
 	return out
 }
 

@@ -21,7 +21,8 @@ func MulWitness(a, b *Bool) (*Bool, map[uint64]uint32) {
 	if a.nvals == 0 || b.nvals == 0 {
 		return out, wit
 	}
-	acc := newAccumulator(b.ncols)
+	acc := getAccumulator(b.ncols)
+	defer putAccumulator(acc)
 	for i := 0; i < a.nrows; i++ {
 		ra := a.rows[i]
 		if len(ra) == 0 {

@@ -260,6 +260,7 @@ func TestInstrumentLayerDiscipline(t *testing.T) {
 		LayerGdb:      true,
 		LayerDur:      true,
 		LayerCache:    true,
+		LayerBatch:    true,
 		LayerResp:     true,
 		LayerRepl:     true,
 	}
